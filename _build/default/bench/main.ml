@@ -1,0 +1,197 @@
+(* Benchmark harness.
+
+   Two parts:
+
+   1. bechamel micro-benchmarks of the core primitives (one Test.make per
+      primitive), so the cost of each building block is tracked;
+   2. the experiment tables E1-E11 (DESIGN.md Section 5 / EXPERIMENTS.md),
+      which regenerate the measurable content of every theorem and figure
+      of the paper on the simulation substrate.
+
+   Usage:
+     bench/main.exe            micro-benches + quick experiment tables
+     bench/main.exe --full     micro-benches + full experiment tables
+     bench/main.exe --quick    micro-benches + quick tables (explicit)
+     bench/main.exe --tables   experiment tables only
+     bench/main.exe --micro    micro-benches only *)
+
+open Bechamel
+open Toolkit
+
+let set = Sim.Pid.set_of_list
+
+(* --- micro-bench subjects ------------------------------------------- *)
+
+let bench_rng =
+  let rng = Sim.Rng.create 1 in
+  Test.make ~name:"rng.int" (Staged.stage (fun () -> Sim.Rng.int rng 1000))
+
+let bench_heap =
+  let rng = Sim.Rng.create 2 in
+  Test.make ~name:"heap.push_pop_64"
+    (Staged.stage (fun () ->
+         let h = Sim.Heap.create Int.compare in
+         for _ = 1 to 64 do
+           Sim.Heap.push h (Sim.Rng.int rng 10_000)
+         done;
+         while not (Sim.Heap.is_empty h) do
+           ignore (Sim.Heap.pop h)
+         done))
+
+let bench_channel =
+  let rng = Sim.Rng.create 3 in
+  Test.make ~name:"channel.send_take"
+    (Staged.stage (fun () ->
+         let ch = Sim.Channel.create ~capacity:8 in
+         for i = 1 to 16 do
+           Sim.Channel.send ch rng i
+         done;
+         while Sim.Channel.take ch rng ~reorder:true <> None do
+           ()
+         done))
+
+let bench_fd =
+  Test.make ~name:"detector.heartbeat_trusted"
+    (Staged.stage (fun () ->
+         let fd = Detector.Theta_fd.create ~n_bound:16 ~self:0 () in
+         for r = 1 to 8 do
+           ignore r;
+           for p = 1 to 8 do
+             Detector.Theta_fd.heartbeat fd p
+           done
+         done;
+         ignore (Detector.Theta_fd.trusted fd)))
+
+let bench_notification_max =
+  let ns =
+    List.init 16 (fun i ->
+        Reconfig.Notification.make
+          (if i mod 2 = 0 then Reconfig.Notification.P1 else Reconfig.Notification.P2)
+          (set [ i; i + 1; i + 2 ]))
+  in
+  Test.make ~name:"notification.max_of_16"
+    (Staged.stage (fun () -> Reconfig.Notification.max_of ns))
+
+let bench_label_order =
+  let l1 = Labels.Label.make ~creator:1 ~sting:3 ~antistings:[ 1; 2; 5; 7 ] in
+  let l2 = Labels.Label.make ~creator:1 ~sting:8 ~antistings:[ 3; 4 ] in
+  Test.make ~name:"label.precedes" (Staged.stage (fun () -> Labels.Label.precedes l1 l2))
+
+let bench_label_next =
+  let known =
+    List.init 12 (fun i ->
+        Labels.Label.make ~creator:1 ~sting:i ~antistings:[ i + 1; i + 2 ])
+  in
+  Test.make ~name:"label.next_label_12"
+    (Staged.stage (fun () -> Labels.Label.next_label ~creator:1 ~known))
+
+let bench_counter_order =
+  let l = Labels.Label.make ~creator:1 ~sting:0 ~antistings:[ 9 ] in
+  let c1 = Counters.Counter.make ~lbl:l ~seqn:41 ~wid:3 in
+  let c2 = Counters.Counter.make ~lbl:l ~seqn:42 ~wid:2 in
+  Test.make ~name:"counter.precedes"
+    (Staged.stage (fun () -> Counters.Counter.precedes c1 c2))
+
+let bench_recsa_tick =
+  (* one do-forever iteration of a warm 8-node recSA instance *)
+  let trusted = set (List.init 8 (fun i -> i + 1)) in
+  let sa = Reconfig.Recsa.create ~self:1 ~participant:true ~initial_config:trusted () in
+  List.iter
+    (fun p ->
+      if p <> 1 then
+        Reconfig.Recsa.receive sa ~from:p
+          {
+            Reconfig.Recsa.m_fd = trusted;
+            m_part = trusted;
+            m_config = Reconfig.Config_value.Set trusted;
+            m_prp = Reconfig.Notification.default;
+            m_all = false;
+            m_echo = None;
+          })
+    (List.init 8 (fun i -> i + 1));
+  Test.make ~name:"recsa.tick_warm_8"
+    (Staged.stage (fun () -> Reconfig.Recsa.tick sa ~trusted))
+
+let bench_engine_round =
+  Test.make ~name:"engine.round_5node_gossip"
+    (Staged.stage
+       (let pids = [ 1; 2; 3; 4; 5 ] in
+        let behavior =
+          {
+            Sim.Engine.init = (fun p -> p);
+            on_timer =
+              (fun ctx s ->
+                List.iter
+                  (fun q -> if q <> Sim.Engine.self ctx then Sim.Engine.send ctx q s)
+                  pids;
+                s);
+            on_message = (fun _ _ v s -> max v s);
+          }
+        in
+        let eng = Sim.Engine.create ~seed:5 ~behavior ~pids () in
+        fun () -> Sim.Engine.run_rounds eng 1))
+
+let micro_tests =
+  Test.make_grouped ~name:"primitives" ~fmt:"%s %s"
+    [
+      bench_rng;
+      bench_heap;
+      bench_channel;
+      bench_fd;
+      bench_notification_max;
+      bench_label_order;
+      bench_label_next;
+      bench_counter_order;
+      bench_recsa_tick;
+      bench_engine_round;
+    ]
+
+let run_micro () =
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg instances micro_tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Format.printf "@.== micro-benchmarks (monotonic clock, ns/run) ==@.";
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let est =
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) -> t
+          | Some [] | None -> nan
+        in
+        (name, est) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter (fun (name, est) -> Format.printf "%-40s %12.1f ns/run@." name est) rows
+
+(* --- experiment tables ---------------------------------------------- *)
+
+let run_tables params =
+  List.iter
+    (fun t -> Format.printf "%a@." Harness.Table.pp t)
+    (Harness.Experiments.all params)
+
+let run_ablations params =
+  List.iter
+    (fun t -> Format.printf "%a@." Harness.Table.pp t)
+    (Harness.Ablations.all params)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let full = List.mem "--full" args in
+  let tables_only = List.mem "--tables" args in
+  let micro_only = List.mem "--micro" args in
+  let skip_ablations = List.mem "--no-ablations" args in
+  let params =
+    if full then Harness.Experiments.default_params else Harness.Experiments.quick_params
+  in
+  if not tables_only then run_micro ();
+  if not micro_only then begin
+    run_tables params;
+    if not skip_ablations then run_ablations params
+  end

@@ -1,0 +1,200 @@
+(* reconfig-sim — command-line driver for the self-stabilizing
+   reconfiguration simulator.
+
+   Subcommands:
+     experiments   regenerate the paper-claim tables (E1..E11)
+     scenario      run a named scenario and print what happened
+     trace         run a transient-fault recovery and dump the event trace *)
+
+open Cmdliner
+open Sim
+open Reconfig
+
+(* ------------------------------------------------------------------ *)
+(* experiments                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let experiments_cmd =
+  let full =
+    Arg.(value & flag & info [ "full" ] ~doc:"Run with the full parameter grid.")
+  in
+  let ids =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"ID"
+          ~doc:"Experiment identifiers (E1..E11). All when omitted.")
+  in
+  let run full ids =
+    let params =
+      if full then Harness.Experiments.default_params
+      else Harness.Experiments.quick_params
+    in
+    let tables =
+      match ids with
+      | [] -> Harness.Experiments.all params
+      | ids ->
+        List.map
+          (fun id ->
+            match Harness.Experiments.by_id id with
+            | Some f -> f params
+            | None ->
+              Format.eprintf "unknown experiment %s (known: %s)@." id
+                (String.concat ", " Harness.Experiments.ids);
+              exit 1)
+          ids
+    in
+    List.iter (fun t -> Format.printf "%a@." Harness.Table.pp t) tables
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Regenerate the paper-claim tables (E1..E11).")
+    Term.(const run $ full $ ids)
+
+let ablations_cmd =
+  let full =
+    Arg.(value & flag & info [ "full" ] ~doc:"Run with the full parameter grid.")
+  in
+  let run full =
+    let params =
+      if full then Harness.Experiments.default_params
+      else Harness.Experiments.quick_params
+    in
+    List.iter
+      (fun t -> Format.printf "%a@." Harness.Table.pp t)
+      (Harness.Ablations.all params)
+  in
+  Cmd.v
+    (Cmd.info "ablations" ~doc:"Run the design-choice ablation sweeps (A1..A4).")
+    Term.(const run $ full)
+
+(* ------------------------------------------------------------------ *)
+(* scenario                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let n_arg =
+  Arg.(value & opt int 5 & info [ "n" ] ~docv:"N" ~doc:"Number of initial members.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let loss_arg =
+  Arg.(value & opt float 0.02 & info [ "loss" ] ~docv:"P" ~doc:"Packet loss probability.")
+
+let pp_config fmt sys =
+  match Stack.uniform_config sys with
+  | Some c -> Pid.pp_set fmt c
+  | None -> Format.fprintf fmt "(no agreement yet)"
+
+let scenario_steady n seed loss =
+  let members = List.init n (fun i -> i + 1) in
+  let sys =
+    Stack.create ~seed ~loss ~n_bound:(2 * n) ~hooks:Stack.unit_hooks ~members ()
+  in
+  Format.printf "starting %d members...@." n;
+  Stack.run_rounds sys 30;
+  Format.printf "config after 30 rounds: %a, quiescent=%b@." pp_config sys
+    (Stack.quiescent sys);
+  Format.printf "proposing replacement by {1..%d}...@." (n - 1);
+  let target = Pid.set_of_list (List.init (n - 1) (fun i -> i + 1)) in
+  let rec propose k =
+    if k = 0 then Format.printf "estab not accepted@."
+    else if not (Stack.estab sys 1 target) then (Stack.run_rounds sys 2; propose (k - 1))
+  in
+  propose 50;
+  ignore
+    (Stack.run_until sys ~max_steps:2_000_000 (fun t ->
+         Stack.quiescent t
+         && match Stack.uniform_config t with Some c -> Pid.Set.equal c target | None -> false));
+  Format.printf "config after delicate replacement: %a@." pp_config sys;
+  Format.printf "delicate installs: %d, brute-force resets: %d@."
+    (Stack.total_installs sys) (Stack.total_resets sys)
+
+let scenario_transient n seed loss =
+  let members = List.init n (fun i -> i + 1) in
+  let sys =
+    Stack.create ~seed ~loss ~n_bound:(2 * n) ~hooks:Stack.unit_hooks ~members ()
+  in
+  Stack.run_rounds sys 30;
+  Format.printf "steady config: %a@." pp_config sys;
+  Format.printf "injecting transient fault: all node states and channels corrupted@.";
+  Stack.corrupt_everything sys ~rng:(Rng.create (seed + 1));
+  (match Stack.run_until_quiescent sys ~max_rounds:1000 with
+  | Some rounds -> Format.printf "recovered in %d rounds@." rounds
+  | None -> Format.printf "did not recover within budget@.");
+  Format.printf "config after recovery: %a (resets: %d)@." pp_config sys
+    (Stack.total_resets sys)
+
+let scenario_churn n seed loss =
+  let members = List.init n (fun i -> i + 1) in
+  let hooks = { Stack.unit_hooks with eval_conf = Stack.default_eval_conf () } in
+  let sys = Stack.create ~seed ~loss ~n_bound:(4 * n) ~hooks ~members () in
+  Stack.run_rounds sys 30;
+  Format.printf "steady config: %a@." pp_config sys;
+  Format.printf "two joiners arrive...@.";
+  Stack.add_joiner sys 100;
+  Stack.add_joiner sys 101;
+  ignore
+    (Stack.run_until sys ~max_steps:2_000_000 (fun t ->
+         Recsa.is_participant (Stack.node t 100).Stack.sa
+         && Recsa.is_participant (Stack.node t 101).Stack.sa));
+  Format.printf "joiners are participants@.";
+  Format.printf "crashing members 1 and 2; the predictor should reconfigure...@.";
+  Stack.crash sys 1;
+  Stack.crash sys 2;
+  let recovered =
+    Stack.run_until sys ~max_steps:4_000_000 (fun t ->
+        match Stack.uniform_config t with
+        | Some c -> (not (Pid.Set.mem 1 c)) && not (Pid.Set.mem 2 c)
+        | None -> false)
+  in
+  Format.printf "reconfigured away from crashed members: %b@." recovered;
+  Format.printf "final config: %a (recMA triggers: %d)@." pp_config sys
+    (Stack.total_triggers sys)
+
+let scenario_cmd =
+  let kind =
+    Arg.(
+      value
+      & pos 0 (enum [ ("steady", `Steady); ("transient", `Transient); ("churn", `Churn) ]) `Steady
+      & info [] ~docv:"SCENARIO" ~doc:"One of: steady, transient, churn.")
+  in
+  let run kind n seed loss =
+    match kind with
+    | `Steady -> scenario_steady n seed loss
+    | `Transient -> scenario_transient n seed loss
+    | `Churn -> scenario_churn n seed loss
+  in
+  Cmd.v
+    (Cmd.info "scenario" ~doc:"Run a named scenario and narrate the outcome.")
+    Term.(const run $ kind $ n_arg $ seed_arg $ loss_arg)
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let run n seed loss =
+    let members = List.init n (fun i -> i + 1) in
+    let sys =
+      Stack.create ~seed ~loss ~n_bound:(2 * n) ~hooks:Stack.unit_hooks ~members ()
+    in
+    Stack.run_rounds sys 30;
+    Stack.corrupt_everything sys ~rng:(Rng.create (seed + 1));
+    ignore (Stack.run_until_quiescent sys ~max_rounds:1000);
+    let entries = Trace.entries (Engine.trace (Stack.engine sys)) in
+    List.iter
+      (fun e ->
+        if e.Trace.tag <> "join" then Format.printf "%a@." Trace.pp_entry e)
+      entries;
+    Format.printf "final config: %a@."
+      (fun fmt () -> pp_config fmt sys) ()
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Dump the protocol event trace of a transient-fault recovery.")
+    Term.(const run $ n_arg $ seed_arg $ loss_arg)
+
+let () =
+  let info =
+    Cmd.info "reconfig-sim" ~version:"1.0.0"
+      ~doc:"Self-stabilizing reconfiguration (MIDDLEWARE 2016) simulator."
+  in
+  exit (Cmd.eval (Cmd.group info [ experiments_cmd; ablations_cmd; scenario_cmd; trace_cmd ]))

@@ -1,0 +1,1 @@
+examples/churn_storage.ml: Format List Pid Reconfig Shared_memory Sim Vs Vs_service

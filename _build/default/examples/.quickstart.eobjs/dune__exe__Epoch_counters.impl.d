@@ -1,0 +1,1 @@
+examples/epoch_counters.ml: Counter Counter_service Counters Format Label Labels List Pid Reconfig Sim

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Pid Reconfig Recsa Rng Sim Stack

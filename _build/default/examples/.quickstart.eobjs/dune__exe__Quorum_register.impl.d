@@ -1,0 +1,1 @@
+examples/quorum_register.ml: Format List Pid Reconfig Register Register_service Sim

@@ -1,0 +1,1 @@
+examples/replicated_kv.ml: Format List Map Pid Reconfig Sim String Vs Vs_service

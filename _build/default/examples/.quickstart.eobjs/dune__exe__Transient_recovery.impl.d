@@ -1,0 +1,1 @@
+examples/transient_recovery.ml: Baseline Format List Pid Reconfig Rng Sim Trace

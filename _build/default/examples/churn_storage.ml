@@ -1,0 +1,86 @@
+(* Shared storage under churn — the motivating system of the paper's
+   introduction [20]: an MWMR register service whose quorum configuration
+   gradually loses members to crashes while new processors keep joining,
+   with the reconfiguration scheme keeping the service consistent.
+
+   Run with:  dune exec examples/churn_storage.exe *)
+
+open Sim
+open Vs
+
+let app sys p = (Reconfig.Stack.node sys p).Reconfig.Stack.app
+
+let wait_view sys =
+  Reconfig.Stack.run_until sys ~max_steps:2_000_000 (fun t ->
+      List.for_all
+        (fun (_, n) ->
+          Vs_service.status_of n.Reconfig.Stack.app = Vs_service.Multicast
+          && (Vs_service.current_view n.Reconfig.Stack.app).Vs_service.vid <> None)
+        (Reconfig.Stack.live_nodes t))
+
+let pp_config fmt sys =
+  match Reconfig.Stack.uniform_config sys with
+  | Some c -> Pid.pp_set fmt c
+  | None -> Format.fprintf fmt "(reconfiguring)"
+
+let () =
+  (* the predictor reconfigures once a quarter of the members look failed *)
+  let eval_config ~self:_ ~trusted members =
+    let missing =
+      Pid.Set.cardinal members - Pid.Set.cardinal (Pid.Set.inter members trusted)
+    in
+    missing > 0 && 4 * missing >= Pid.Set.cardinal members
+  in
+  let members = [ 1; 2; 3; 4; 5 ] in
+  let sys =
+    Reconfig.Stack.create ~seed:21 ~n_bound:32
+      ~hooks:(Shared_memory.hooks ~eval_config ())
+      ~members ()
+  in
+  Reconfig.Stack.run_rounds sys 20;
+  ignore (wait_view sys);
+  Format.printf "storage service up, config=%a@." pp_config sys;
+
+  (* clients write and read *)
+  Shared_memory.write (app sys 2) ~writer:2 "x" 10;
+  ignore
+    (Reconfig.Stack.run_until sys ~max_steps:2_000_000 (fun t ->
+         Shared_memory.peek (app t 5) "x" = Some 10));
+  Shared_memory.read (app sys 5) ~reader:5 ~rid:1 "x";
+  ignore
+    (Reconfig.Stack.run_until sys ~max_steps:2_000_000 (fun t ->
+         Shared_memory.read_result (app t 5) ~reader:5 ~rid:1 <> None));
+  Format.printf "node 5 read x = %s@."
+    (match Shared_memory.read_result (app sys 5) ~reader:5 ~rid:1 with
+    | Some (Some v) -> string_of_int v
+    | Some None -> "(unwritten)"
+    | None -> "(pending)");
+
+  (* churn: two joiners arrive, then two members crash *)
+  Reconfig.Stack.add_joiner sys 101;
+  Reconfig.Stack.add_joiner sys 102;
+  ignore
+    (Reconfig.Stack.run_until sys ~max_steps:2_000_000 (fun t ->
+         Reconfig.Recsa.is_participant (Reconfig.Stack.node t 101).Reconfig.Stack.sa
+         && Reconfig.Recsa.is_participant (Reconfig.Stack.node t 102).Reconfig.Stack.sa));
+  Format.printf "joiners 101, 102 are participants@.";
+  Reconfig.Stack.crash sys 1;
+  Reconfig.Stack.crash sys 2;
+  Format.printf "members 1 and 2 crashed; waiting for reconfiguration...@.";
+  ignore
+    (Reconfig.Stack.run_until sys ~max_steps:6_000_000 (fun t ->
+         match Reconfig.Stack.uniform_config t with
+         | Some c -> (not (Pid.Set.mem 1 c)) && not (Pid.Set.mem 2 c)
+         | None -> false));
+  Format.printf "reconfigured: config=%a@." pp_config sys;
+
+  (* the register survived the churn *)
+  ignore (wait_view sys);
+  Shared_memory.write (app sys 101) ~writer:101 "x" 77;
+  ignore
+    (Reconfig.Stack.run_until sys ~max_steps:4_000_000 (fun t ->
+         List.for_all
+           (fun (_, n) -> Shared_memory.peek n.Reconfig.Stack.app "x" = Some 77)
+           (Reconfig.Stack.live_nodes t)));
+  Format.printf "new participant wrote x=77; visible at every live node@.";
+  Format.printf "service survived churn of %d joins and %d crashes@." 2 2

@@ -1,0 +1,1 @@
+lib/baseline/epoch_config.ml: Engine List Pid Sim

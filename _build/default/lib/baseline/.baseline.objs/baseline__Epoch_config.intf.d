@@ -1,0 +1,1 @@
+lib/baseline/epoch_config.mli: Engine Pid Sim

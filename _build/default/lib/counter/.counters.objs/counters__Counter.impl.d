@@ -1,0 +1,1 @@
+lib/counter/counter.ml: Format Int Label Labels List Pid Sim

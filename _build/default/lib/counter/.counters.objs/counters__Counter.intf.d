@@ -1,0 +1,1 @@
+lib/counter/counter.mli: Format Label Labels Pid Sim

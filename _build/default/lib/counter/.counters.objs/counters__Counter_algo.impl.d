@@ -1,0 +1,1 @@
+lib/counter/counter_algo.ml: Counter Format Label Labels List Pid Sim

@@ -1,0 +1,1 @@
+lib/counter/counter_algo.mli: Counter Format Pid Sim

@@ -1,0 +1,1 @@
+lib/counter/counter_service.ml: Config_value Counter Counter_algo Format List Option Pid Quorum Reconfig Recsa Sim Stack

@@ -1,0 +1,1 @@
+lib/counter/counter_service.mli: Counter Pid Reconfig Sim

@@ -1,0 +1,58 @@
+open Sim
+open Labels
+
+type t = { lbl : Label.t; seqn : int; wid : Pid.t }
+
+let make ~lbl ~seqn ~wid = { lbl; seqn; wid }
+
+let equal c1 c2 =
+  Label.equal c1.lbl c2.lbl && c1.seqn = c2.seqn && Pid.equal c1.wid c2.wid
+
+let precedes c1 c2 =
+  if Label.equal c1.lbl c2.lbl then
+    c1.seqn < c2.seqn || (c1.seqn = c2.seqn && Pid.compare c1.wid c2.wid < 0)
+  else Label.precedes c1.lbl c2.lbl
+
+let comparable c1 c2 = equal c1 c2 || precedes c1 c2 || precedes c2 c1
+let exhausted ~bound c = c.seqn >= bound
+
+let compare_total c1 c2 =
+  let c = Label.compare_total c1.lbl c2.lbl in
+  if c <> 0 then c
+  else
+    let c = Int.compare c1.seqn c2.seqn in
+    if c <> 0 then c else Pid.compare c1.wid c2.wid
+
+let max_of counters =
+  match counters with
+  | [] -> None
+  | _ ->
+    let maximal =
+      List.filter (fun c -> not (List.exists (fun c' -> precedes c c') counters)) counters
+    in
+    let pool = match maximal with [] -> counters | _ -> maximal in
+    Some
+      (List.fold_left
+         (fun best c -> if compare_total c best > 0 then c else best)
+         (List.hd pool) (List.tl pool))
+
+let pp fmt c = Format.fprintf fmt "<%a, %d, w%a>" Label.pp c.lbl c.seqn Pid.pp c.wid
+
+type pair = { mct : t; cct : t option }
+
+let pair_of c = { mct = c; cct = None }
+let legit p = p.cct = None
+let cancel p = { p with cct = Some p.mct }
+
+let pair_equal p1 p2 =
+  equal p1.mct p2.mct
+  &&
+  match (p1.cct, p2.cct) with
+  | None, None -> true
+  | Some a, Some b -> equal a b
+  | None, Some _ | Some _, None -> false
+
+let pp_pair fmt p =
+  match p.cct with
+  | None -> Format.fprintf fmt "<%a, _>" pp p.mct
+  | Some _ -> Format.fprintf fmt "<%a, X>" pp p.mct

@@ -1,0 +1,212 @@
+open Sim
+open Labels
+
+type t = {
+  ca_self : Pid.t;
+  mutable ca_members : Pid.Set.t;
+  mutable max : Counter.pair Pid.Map.t;
+  mutable store : Counter.pair list Pid.Map.t; (* per label-creator queues *)
+  m_bound : int;
+  exhaust : int;
+  mutable label_creations : int;
+}
+
+let create ~self ~members ~in_transit_bound ~exhaust_bound =
+  {
+    ca_self = self;
+    ca_members = members;
+    max = Pid.Map.empty;
+    store = Pid.Map.empty;
+    m_bound = max 1 in_transit_bound;
+    exhaust = exhaust_bound;
+    label_creations = 0;
+  }
+
+let self t = t.ca_self
+let members t = t.ca_members
+let exhaust_bound t = t.exhaust
+let local_max t = Pid.Map.find_opt t.ca_self t.max
+let max_of t j = Pid.Map.find_opt j t.max
+let label_creations t = t.label_creations
+let stored t j = match Pid.Map.find_opt j t.store with Some q -> q | None -> []
+
+let queue_bound t j =
+  let v = max 1 (Pid.Set.cardinal t.ca_members) in
+  if Pid.equal j t.ca_self then (v * ((v * v) + t.m_bound)) + v else v + t.m_bound
+
+let truncate n l =
+  let rec go n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: go (n - 1) rest
+  in
+  go n l
+
+let same_label (a : Counter.pair) (b : Counter.pair) =
+  Label.equal a.Counter.mct.Counter.lbl b.Counter.mct.Counter.lbl
+
+(* Merging two pairs with the same label: a canceled copy wins; otherwise
+   the greater ⟨seqn, wid⟩ wins. *)
+let merge_pair (a : Counter.pair) (b : Counter.pair) =
+  match (Counter.legit a, Counter.legit b) with
+  | false, true -> a
+  | true, false -> b
+  | _ ->
+    if Counter.precedes a.Counter.mct b.Counter.mct then b
+    else if Counter.precedes b.Counter.mct a.Counter.mct then a
+    else a
+
+let store_add t (p : Counter.pair) =
+  let creator = p.Counter.mct.Counter.lbl.Label.creator in
+  let q = stored t creator in
+  let q' =
+    match List.partition (same_label p) q with
+    | [], rest -> truncate (queue_bound t creator) (p :: rest)
+    | dups, rest ->
+      let merged = List.fold_left merge_pair p dups in
+      truncate (queue_bound t creator) (merged :: rest)
+  in
+  t.store <- Pid.Map.add creator q' t.store
+
+let clean_pair t (p : Counter.pair) =
+  if Pid.Set.mem p.Counter.mct.Counter.lbl.Label.creator t.ca_members then Some p
+  else None
+
+let clean_max t = t.max <- Pid.Map.filter_map (fun _ p -> clean_pair t p) t.max
+
+(* Cancel pairs whose counter is exhausted, both in max[] and the store. *)
+let cancel_exhausted t =
+  let fix (p : Counter.pair) =
+    if Counter.legit p && Counter.exhausted ~bound:t.exhaust p.Counter.mct then
+      Counter.cancel p
+    else p
+  in
+  t.max <- Pid.Map.map fix t.max;
+  t.store <- Pid.Map.map (List.map fix) t.store
+
+(* Cancel stored legit pairs whose label is dominated by (or incomparable
+   with) another stored pair of the same creator. *)
+let cancel_dominated t =
+  t.store <-
+    Pid.Map.map
+      (fun q ->
+        List.map
+          (fun (p : Counter.pair) ->
+            if not (Counter.legit p) then p
+            else if
+              List.exists
+                (fun (p' : Counter.pair) ->
+                  (not (same_label p' p))
+                  && Pid.equal p'.Counter.mct.Counter.lbl.Label.creator
+                       p.Counter.mct.Counter.lbl.Label.creator
+                  && not
+                       (Label.precedes p'.Counter.mct.Counter.lbl
+                          p.Counter.mct.Counter.lbl))
+                q
+            then { p with Counter.cct = Some p.Counter.mct }
+            else p)
+          q)
+      t.store
+
+let sync_cancellations t =
+  Pid.Map.iter
+    (fun _ (mp : Counter.pair) -> if not (Counter.legit mp) then store_add t mp)
+    t.max;
+  t.max <-
+    Pid.Map.map
+      (fun (mp : Counter.pair) ->
+        if Counter.legit mp then
+          match
+            List.find_opt
+              (fun p -> same_label p mp && not (Counter.legit p))
+              (stored t mp.Counter.mct.Counter.lbl.Label.creator)
+          with
+          | Some canceled -> canceled
+          | None -> mp
+        else mp)
+      t.max
+
+let all_known_labels t =
+  let from_pair acc (p : Counter.pair) =
+    let acc = p.Counter.mct.Counter.lbl :: acc in
+    match p.Counter.cct with Some c -> c.Counter.lbl :: acc | None -> acc
+  in
+  let acc = Pid.Map.fold (fun _ q acc -> List.fold_left from_pair acc q) t.store [] in
+  Pid.Map.fold (fun _ p acc -> from_pair acc p) t.max acc
+
+let fresh_epoch t =
+  let lbl = Label.next_label ~creator:t.ca_self ~known:(all_known_labels t) in
+  t.label_creations <- t.label_creations + 1;
+  let c = Counter.make ~lbl ~seqn:0 ~wid:t.ca_self in
+  let p = Counter.pair_of c in
+  store_add t p;
+  t.max <- Pid.Map.add t.ca_self p t.max;
+  c
+
+let settle t =
+  let candidates =
+    Pid.Map.fold
+      (fun _ (p : Counter.pair) acc ->
+        if Counter.legit p && not (Counter.exhausted ~bound:t.exhaust p.Counter.mct)
+        then p.Counter.mct :: acc
+        else acc)
+      t.max []
+  in
+  let candidates =
+    Pid.Map.fold
+      (fun _ q acc ->
+        List.fold_left
+          (fun acc (p : Counter.pair) ->
+            if Counter.legit p && not (Counter.exhausted ~bound:t.exhaust p.Counter.mct)
+            then p.Counter.mct :: acc
+            else acc)
+          acc q)
+      t.store candidates
+  in
+  match Counter.max_of candidates with
+  | Some c ->
+    t.max <- Pid.Map.add t.ca_self (Counter.pair_of c) t.max;
+    c
+  | None -> fresh_epoch t
+
+let find_max_counter t =
+  cancel_exhausted t;
+  cancel_dominated t;
+  sync_cancellations t;
+  settle t
+
+let merge t ~from p =
+  (match Pid.Map.find_opt from t.max with
+  | Some existing when same_label existing p ->
+    t.max <- Pid.Map.add from (merge_pair existing p) t.max
+  | Some _ | None -> t.max <- Pid.Map.add from p t.max);
+  store_add t p
+
+let receipt_action t ~sent_max ~last_sent ~from =
+  (match sent_max with
+  | Some p -> merge t ~from p
+  | None -> if not (Pid.equal from t.ca_self) then t.max <- Pid.Map.remove from t.max);
+  (match (last_sent, local_max t) with
+  | Some ls, Some mine when (not (Counter.legit ls)) && same_label ls mine ->
+    t.max <- Pid.Map.add t.ca_self ls t.max;
+    store_add t ls
+  | _ -> ());
+  ignore (find_max_counter t)
+
+let rebuild t ~members =
+  t.ca_members <- members;
+  t.store <- Pid.Map.empty;
+  clean_max t;
+  let own = local_max t in
+  t.max <-
+    (match own with Some p -> Pid.Map.singleton t.ca_self p | None -> Pid.Map.empty);
+  ignore (find_max_counter t)
+
+let corrupt t ~max_entries =
+  List.iter (fun (j, p) -> t.max <- Pid.Map.add j p t.max) max_entries
+
+let pp fmt t =
+  Format.fprintf fmt "counters(p%a) max=%a" Pid.pp t.ca_self
+    (fun fmt m ->
+      Pid.Map.iter (fun j p -> Format.fprintf fmt "[%a]=%a " Pid.pp j Counter.pp_pair p) m)
+    t.max

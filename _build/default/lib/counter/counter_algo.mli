@@ -1,0 +1,61 @@
+(** Counter management for configuration members — Algorithm 4.3's state
+    maintenance (the counter analogue of {!Labels.Label_algo}).
+
+    Keeps [maxC\[\]] and [storedCnts\[\]] with the same bounds as the
+    labeling algorithm; counter pairs sharing a label are merged keeping
+    the greatest ⟨seqn, wid⟩ (a canceled copy wins, so cancellations are
+    never lost); exhausted counters are canceled and a fresh epoch label is
+    created when no legit counter survives. *)
+
+open Sim
+
+type t
+
+val create :
+  self:Pid.t ->
+  members:Pid.Set.t ->
+  in_transit_bound:int ->
+  exhaust_bound:int ->
+  t
+
+val self : t -> Pid.t
+val members : t -> Pid.Set.t
+val exhaust_bound : t -> int
+
+(** The locally maximal counter pair ([maxC\[i\]]). *)
+val local_max : t -> Counter.pair option
+
+(** The last pair received from member [j]. *)
+val max_of : t -> Pid.t -> Counter.pair option
+
+(** Labels created by this node (counts toward Theorem 4.4's bound). *)
+val label_creations : t -> int
+
+(** [find_max_counter t] — Algorithm 4.4's [findMaxCounter]: cancel
+    exhausted counters, settle the structures, and return a legit,
+    non-exhausted maximal counter (creating a new epoch if necessary). *)
+val find_max_counter : t -> Counter.t
+
+(** [merge t ~from pair] — incorporate a counter pair received from [from]
+    (gossip or majWrite), keeping per-label maxima. *)
+val merge : t -> from:Pid.t -> Counter.pair -> unit
+
+(** [receipt_action t ~sent_max ~last_sent ~from] — the gossip receipt
+    action of Algorithm 4.3. *)
+val receipt_action :
+  t ->
+  sent_max:Counter.pair option ->
+  last_sent:Counter.pair option ->
+  from:Pid.t ->
+  unit
+
+(** [rebuild t ~members] — after a reconfiguration: new member set, empty
+    queues, non-member counters voided. *)
+val rebuild : t -> members:Pid.Set.t -> unit
+
+(** [clean_pair t p] — [None] when the pair's label creator is not a
+    member. *)
+val clean_pair : t -> Counter.pair -> Counter.pair option
+
+val corrupt : t -> max_entries:(Pid.t * Counter.pair) list -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/datalink/fifo_link.ml: List Token_link

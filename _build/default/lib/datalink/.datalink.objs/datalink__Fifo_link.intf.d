@@ -1,0 +1,1 @@
+lib/datalink/fifo_link.mli: Token_link

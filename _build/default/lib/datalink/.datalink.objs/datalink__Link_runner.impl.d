@@ -1,0 +1,1 @@
+lib/datalink/link_runner.ml: Engine Fifo_link Pid Sim

@@ -1,0 +1,1 @@
+lib/datalink/link_runner.mli: Engine Fifo_link Pid Sim

@@ -1,0 +1,1 @@
+lib/datalink/snap_link.ml: Pid Sim

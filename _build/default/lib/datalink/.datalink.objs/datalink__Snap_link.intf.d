@@ -1,0 +1,1 @@
+lib/datalink/snap_link.mli: Pid Sim

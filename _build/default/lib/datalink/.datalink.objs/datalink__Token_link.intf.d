@@ -1,0 +1,1 @@
+lib/datalink/token_link.mli: Format

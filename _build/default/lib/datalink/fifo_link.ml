@@ -1,0 +1,55 @@
+type 'a wire = 'a option Token_link.msg
+
+type 'a t = {
+  sender : 'a option Token_link.Sender.t;
+  receiver : 'a option Token_link.Receiver.t;
+  mutable queue : 'a list; (* pending messages, head is next to ship *)
+  mutable current : 'a option; (* message carried by the current token *)
+  mutable received_rev : 'a list;
+}
+
+let create ~capacity =
+  {
+    sender = Token_link.Sender.create ~capacity None;
+    receiver = Token_link.Receiver.create ~capacity ();
+    queue = [];
+    current = None;
+    received_rev = [];
+  }
+
+let enqueue t x = t.queue <- t.queue @ [ x ]
+let sender_tick t = Token_link.Sender.on_tick t.sender
+
+let sender_on_msg t m =
+  (* Keep the payload that will be swapped in on token return equal to the
+     head of the queue, so a completed exchange always ships the next
+     message. *)
+  (match t.queue with
+  | x :: _ -> Token_link.Sender.offer t.sender (Some x)
+  | [] -> Token_link.Sender.offer t.sender None);
+  match Token_link.Sender.on_msg t.sender m with
+  | `Waiting -> ()
+  | `Token_returned -> (
+    (* the token that just completed carried [t.current]; the new token
+       carries the queue head (if any) *)
+    match t.queue with
+    | x :: rest ->
+      t.queue <- rest;
+      t.current <- Some x
+    | [] -> t.current <- None)
+
+let backlog t = List.length t.queue + match t.current with Some _ -> 1 | None -> 0
+
+let receiver_on_msg t m =
+  let result, ack = Token_link.Receiver.on_msg t.receiver m in
+  let delivered =
+    match result with
+    | `Deliver (Some x) ->
+      t.received_rev <- x :: t.received_rev;
+      Some x
+    | `Deliver None | `Duplicate | `Ignore -> None
+  in
+  (delivered, ack)
+
+let received t = List.rev t.received_rev
+let tokens t = Token_link.Sender.tokens t.sender

@@ -1,0 +1,42 @@
+(** Reliable FIFO end-to-end message delivery over an unreliable bounded
+    channel (the paper assumes such protocols exist, citing [10, 12]; this is
+    our implementation, layered on {!Token_link}).
+
+    Each token exchange carries at most one application message; messages
+    are delivered to the receiving application exactly once, in order. *)
+
+type 'a t
+(** One directed FIFO link endpoint pair folded into a single value for
+    in-process simulation convenience: [sender_*] functions act on the
+    sending side, [receiver_*] on the receiving side. The wire messages are
+    {!Token_link.msg} values over ['a option] payloads ([None] = token with
+    no application message). *)
+
+type 'a wire = 'a option Token_link.msg
+
+val create : capacity:int -> 'a t
+
+(** {2 Sending side} *)
+
+(** [enqueue t x] appends [x] to the outgoing queue. *)
+val enqueue : 'a t -> 'a -> unit
+
+(** [sender_tick t] is the packet to (re)transmit now. *)
+val sender_tick : 'a t -> 'a wire
+
+(** [sender_on_msg t m] processes an ack. *)
+val sender_on_msg : 'a t -> 'a wire -> unit
+
+(** Outstanding messages not yet carried by a completed token. *)
+val backlog : 'a t -> int
+
+(** {2 Receiving side} *)
+
+(** [receiver_on_msg t m] is [(delivered_message, ack_to_send)]. *)
+val receiver_on_msg : 'a t -> 'a wire -> 'a option * 'a wire option
+
+(** All application messages delivered so far, in order. *)
+val received : 'a t -> 'a list
+
+(** Completed token exchanges (heartbeats observed by the sender). *)
+val tokens : 'a t -> int

@@ -1,0 +1,41 @@
+(** The FIFO data link running over the simulation engine: one designated
+    sender and one receiver exchanging {!Fifo_link} wire packets across the
+    engine's lossy, duplicating, reordering bounded channels — the setting
+    the protocol is specified for (Section 2).
+
+    Tests and benchmarks use this to exercise the link protocols under the
+    same network model as the reconfiguration scheme, including partitions
+    injected through {!Sim.Engine}. *)
+
+open Sim
+
+type 'a node_state
+(** Per-node state (the node's half of the link). *)
+
+type 'a t
+
+val create :
+  ?seed:int ->
+  ?capacity:int ->
+  ?loss:float ->
+  sender:Pid.t ->
+  receiver:Pid.t ->
+  unit ->
+  'a t
+
+val engine : 'a t -> ('a node_state, 'a Fifo_link.wire) Engine.t
+
+(** [send t x] enqueues an application message at the sender. *)
+val send : 'a t -> 'a -> unit
+
+(** Messages delivered to the receiving application, in order. *)
+val received : 'a t -> 'a list
+
+(** Completed token exchanges observed by the sender (heartbeats). *)
+val tokens : 'a t -> int
+
+(** Messages accepted but not yet carried by a completed token. *)
+val backlog : 'a t -> int
+
+val run_rounds : 'a t -> int -> unit
+val run_until : 'a t -> max_steps:int -> ('a t -> bool) -> bool

@@ -1,0 +1,52 @@
+open Sim
+
+type msg =
+  | Clean of { src : Pid.t; dst : Pid.t; nonce : int }
+  | Clean_ack of { src : Pid.t; dst : Pid.t; nonce : int }
+
+type phase = Cleaning | Clean_done
+
+type t = {
+  capacity : int;
+  self : Pid.t;
+  peer : Pid.t;
+  nonce : int;
+  mutable acks : int;
+  mutable phase : phase;
+}
+
+let create ~capacity ~self ~peer ~nonce =
+  if capacity <= 0 then invalid_arg "Snap_link.create: capacity";
+  { capacity; self; peer; nonce; acks = 0; phase = Cleaning }
+
+let phase t = t.phase
+
+let on_tick t =
+  match t.phase with
+  | Clean_done -> None
+  | Cleaning -> Some (Clean { src = t.self; dst = t.peer; nonce = t.nonce })
+
+let on_msg t m =
+  match m with
+  | Clean { src; dst; nonce } ->
+    (* Acknowledge only correctly-labeled cleaning packets from the peer. *)
+    if Pid.equal src t.peer && Pid.equal dst t.self then
+      (Some (Clean_ack { src = t.self; dst = t.peer; nonce }), `Pending)
+    else (None, `Pending)
+  | Clean_ack { src; dst; nonce } ->
+    if
+      Pid.equal src t.peer && Pid.equal dst t.self && nonce = t.nonce
+      && t.phase = Cleaning
+    then begin
+      t.acks <- t.acks + 1;
+      (* more than the round-trip capacity of matching acks: every packet
+         now in transit postdates the handshake *)
+      if t.acks > 2 * t.capacity then begin
+        t.phase <- Clean_done;
+        (None, `Completed)
+      end
+      else (None, `Pending)
+    end
+    else (None, `Pending)
+
+let acks t = t.acks

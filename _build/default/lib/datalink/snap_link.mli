@@ -1,0 +1,39 @@
+(** Snap-stabilizing link cleaning (Section 2, following [15]).
+
+    When a connection signal is received, each endpoint floods the link with
+    [Clean] packets carrying its identifier labels (the anti-parallel
+    data-link scheme) until more than the round-trip capacity of matching
+    acknowledgments arrive; at that point every stale packet that predated
+    the handshake has necessarily left the bounded channel, so the link is
+    declared clean and higher layers may use it. *)
+
+open Sim
+
+type msg =
+  | Clean of { src : Pid.t; dst : Pid.t; nonce : int }
+  | Clean_ack of { src : Pid.t; dst : Pid.t; nonce : int }
+
+type phase =
+  | Cleaning  (** flooding; stale packets may still be in transit *)
+  | Clean_done  (** link established and guaranteed free of stale packets *)
+
+type t
+
+(** [create ~capacity ~self ~peer ~nonce] starts the handshake for the
+    directed link [self → peer]. [nonce] distinguishes this handshake
+    instance from stale packets of earlier ones. *)
+val create : capacity:int -> self:Pid.t -> peer:Pid.t -> nonce:int -> t
+
+val phase : t -> phase
+
+(** [on_tick t] is the next flood packet while cleaning, [None] after. *)
+val on_tick : t -> msg option
+
+(** [on_msg t m] handles an incoming packet. Packets whose labels do not
+    match the link ([src]/[dst] inverted or foreign) are ignored, as the
+    paper requires. Returns an acknowledgment to send, if any, and whether
+    the handshake just completed. *)
+val on_msg : t -> msg -> msg option * [ `Completed | `Pending ]
+
+(** Acks received so far (for tests). *)
+val acks : t -> int

@@ -1,0 +1,1 @@
+lib/detector/theta_fd.ml: Format List Pid Sim

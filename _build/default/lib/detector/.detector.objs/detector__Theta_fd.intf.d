@@ -1,0 +1,1 @@
+lib/detector/theta_fd.mli: Format Pid Sim

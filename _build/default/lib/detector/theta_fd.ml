@@ -1,0 +1,62 @@
+open Sim
+
+type t = {
+  n_bound : int;
+  theta : int;
+  fd_self : Pid.t;
+  mutable counts : int Pid.Map.t;
+}
+
+let create ~n_bound ?(theta = 4) ~self () =
+  if n_bound <= 0 then invalid_arg "Theta_fd.create: n_bound";
+  if theta < 2 then invalid_arg "Theta_fd.create: theta must be >= 2";
+  { n_bound; theta; fd_self = self; counts = Pid.Map.singleton self 0 }
+
+let self t = t.fd_self
+
+let heartbeat t p =
+  let bumped = Pid.Map.map (fun c -> if c < max_int - 1 then c + 1 else c) t.counts in
+  t.counts <- Pid.Map.add p 0 (Pid.Map.add t.fd_self 0 bumped)
+
+let forget t p = t.counts <- Pid.Map.remove p t.counts
+
+(* Sort by (count, pid); walk the prefix until the gap opens. *)
+let ranked t =
+  Pid.Map.bindings t.counts
+  |> List.map (fun (p, c) -> (c, p))
+  |> List.sort compare
+
+let trusted_list t =
+  (* The gap threshold scales with the number of known processors: between
+     two of a live processor's heartbeats, roughly one message from every
+     other known processor arrives, so live counts cluster below a small
+     multiple of |known|; a crashed processor's count keeps growing past
+     theta * (prev + |known|). *)
+  let known_count = max 1 (Pid.Map.cardinal t.counts) in
+  let rec walk prev taken acc = function
+    | [] -> List.rev acc
+    | (c, p) :: rest ->
+      if taken >= t.n_bound then List.rev acc
+      else if c > t.theta * (prev + known_count) then List.rev acc (* the gap *)
+      else walk c (taken + 1) (p :: acc) rest
+  in
+  match ranked t with
+  | [] -> [ t.fd_self ]
+  | (c0, p0) :: rest -> walk c0 1 [ p0 ] rest
+
+let trusted t = Pid.Set.add t.fd_self (Pid.set_of_list (trusted_list t))
+let estimate t = Pid.Set.cardinal (trusted t)
+let count t p = Pid.Map.find_opt p t.counts
+let known t = Pid.Map.fold (fun p _ acc -> Pid.Set.add p acc) t.counts Pid.Set.empty
+
+let corrupt t assoc =
+  t.counts <-
+    List.fold_left (fun m (p, c) -> Pid.Map.add p c m) Pid.Map.empty assoc;
+  t.counts <- Pid.Map.add t.fd_self 0 t.counts
+
+let pp fmt t =
+  Format.fprintf fmt "FD(p%a){%a}" Pid.pp t.fd_self
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+       (fun fmt (c, p) -> Format.fprintf fmt "p%a:%d" Pid.pp p c))
+    (ranked t)

@@ -1,0 +1,1 @@
+lib/harness/ablations.ml: Config_value Detector Engine Experiments List Option Pid Printf Reconfig Recsa Rng Sim Stack Table

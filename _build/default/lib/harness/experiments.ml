@@ -1,0 +1,1021 @@
+open Sim
+open Reconfig
+
+type params = { sizes : int list; seeds : int list; max_rounds : int }
+
+let default_params = { sizes = [ 4; 6; 8; 12 ]; seeds = [ 1; 2; 3 ]; max_rounds = 600 }
+let quick_params = { sizes = [ 4; 6 ]; seeds = [ 1 ]; max_rounds = 400 }
+
+let members_of n = List.init n (fun i -> i + 1)
+
+let mean l =
+  match l with
+  | [] -> 0.0
+  | _ -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let fmax l = List.fold_left Float.max neg_infinity l
+let fmin l = List.fold_left Float.min infinity l
+
+(* The channel capacity used throughout (the paper's cap). *)
+let cap = 8
+
+let warm_system_with ~hooks ~seed n =
+  let sys = Stack.create ~seed ~capacity:cap ~n_bound:(2 * n) ~hooks ~members:(members_of n) () in
+  Stack.run_rounds sys 25;
+  sys
+
+let warm_system ?hooks ~seed n =
+  let hooks = match hooks with Some h -> h | None -> Stack.unit_hooks in
+  warm_system_with ~hooks ~seed n
+
+(* ------------------------------------------------------------------ *)
+(* E1 — Theorem 3.15: convergence from arbitrary states.               *)
+(* ------------------------------------------------------------------ *)
+
+let e1_convergence p =
+  let rows =
+    List.map
+      (fun n ->
+        let results =
+          List.map
+            (fun seed ->
+              let sys = warm_system ~seed n in
+              Stack.corrupt_everything sys ~rng:(Rng.create (seed * 7919));
+              match Stack.run_until_quiescent sys ~max_rounds:p.max_rounds with
+              | Some rounds -> (true, float_of_int rounds, Stack.total_resets sys)
+              | None -> (false, float_of_int p.max_rounds, Stack.total_resets sys))
+            p.seeds
+        in
+        let rounds = List.map (fun (_, r, _) -> r) results in
+        let recovered = List.for_all (fun (ok, _, _) -> ok) results in
+        let resets = List.fold_left (fun a (_, _, r) -> a + r) 0 results in
+        [
+          Table.cell_int n;
+          Table.cell_bool recovered;
+          Table.cell_float (mean rounds);
+          Table.cell_float (fmin rounds);
+          Table.cell_float (fmax rounds);
+          Table.cell_int resets;
+        ])
+      p.sizes
+  in
+  Table.make ~id:"E1" ~title:"recSA convergence from arbitrary states"
+    ~claim:
+      "Theorem 3.15: from any state (corrupted nodes AND channels), the \
+       system reaches a conflict-free uniform configuration"
+    ~header:[ "N"; "recovered"; "rounds(mean)"; "rounds(min)"; "rounds(max)"; "resets" ]
+    ~notes:
+      [
+        "every node state and every channel is overwritten with random garbage \
+         before measuring";
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E2 — Theorem 3.16 / Figure 2: delicate replacement.                 *)
+(* ------------------------------------------------------------------ *)
+
+let e2_delicate_replacement p =
+  let n = match List.rev p.sizes with last :: _ -> last | [] -> 8 in
+  let members = Pid.set_of_list (members_of n) in
+  let rows =
+    List.concat_map
+      (fun k ->
+        List.filter_map
+          (fun seed ->
+            if seed <> List.hd p.seeds && k > 1 then None
+            else begin
+              let sys = warm_system ~seed n in
+              (* k concurrent proposals, each dropping a different member *)
+              let proposals =
+                List.init k (fun i -> Pid.Set.remove (i + 1) members)
+              in
+              let accepted =
+                List.mapi (fun i set -> Stack.estab sys (i + 1) set) proposals
+              in
+              let start = Engine.rounds (Stack.engine sys) in
+              let settled t =
+                Stack.quiescent t
+                &&
+                match Stack.uniform_config t with
+                | Some c -> List.exists (Pid.Set.equal c) proposals
+                | None -> false
+              in
+              let ok = Stack.run_until sys ~max_steps:2_000_000 settled in
+              let rounds = Engine.rounds (Stack.engine sys) - start in
+              let tr = Engine.trace (Stack.engine sys) in
+              Some
+                [
+                  Table.cell_int k;
+                  Table.cell_int (List.length (List.filter (fun x -> x) accepted));
+                  Table.cell_bool ok;
+                  Table.cell_int rounds;
+                  Table.cell_int (Trace.count tr "recsa.phase2");
+                  Table.cell_int (Trace.count tr "recsa.phase0");
+                  Table.cell_int (Stack.total_resets sys);
+                ]
+            end)
+          p.seeds)
+      [ 1; 2; n / 2; n - 1 ]
+  in
+  Table.make ~id:"E2" ~title:"delicate replacement selects exactly one proposal"
+    ~claim:
+      "Theorem 3.16 / Figure 2: concurrent estab() proposals resolve to a \
+       single installed configuration via phases 0->1->2->0, with no \
+       brute-force reset"
+    ~header:
+      [ "proposals"; "accepted"; "one winner installed"; "rounds"; "phase2 events"; "phase0 events"; "resets" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E3 — Lemma 3.18: bounded spurious recMA triggerings.                *)
+(* ------------------------------------------------------------------ *)
+
+let e3_recma_trigger_bound p =
+  let rows =
+    List.map
+      (fun n ->
+        let attempts =
+          List.map
+            (fun seed ->
+              let sys = warm_system ~seed n in
+              (* corrupt only the recMA flags: every node believes everyone
+                 reported noMaj and needReconf *)
+              let all = members_of n in
+              List.iter
+                (fun (_, node) ->
+                  let flags = List.map (fun q -> (q, true)) all in
+                  Recma.corrupt node.Stack.ma ~no_maj:flags ~need_reconf:flags)
+                (Stack.live_nodes sys);
+              Stack.run_rounds sys 100;
+              float_of_int
+                (List.fold_left
+                   (fun acc (_, node) -> acc + Recma.attempt_count node.Stack.ma)
+                   0 (Stack.live_nodes sys)))
+            p.seeds
+        in
+        let bound = n * n * cap in
+        [
+          Table.cell_int n;
+          Table.cell_float (mean attempts);
+          Table.cell_float (fmax attempts);
+          Table.cell_int bound;
+          Table.cell_bool (fmax attempts <= float_of_int bound);
+        ])
+      p.sizes
+  in
+  Table.make ~id:"E3" ~title:"spurious recMA triggerings are bounded"
+    ~claim:
+      "Lemma 3.18: stale noMaj/needReconf information causes at most \
+       O(N^2 * cap) reconfiguration triggerings"
+    ~header:[ "N"; "attempts(mean)"; "attempts(max)"; "bound N^2*cap"; "within bound" ]
+    ~notes:[ "all flags at every node are forced to true before measuring" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E4 — Lemma 3.20: recMA liveness on collapse / prediction.           *)
+(* ------------------------------------------------------------------ *)
+
+let e4_recma_liveness p =
+  let run_case n seed ~kind =
+    let hooks =
+      match kind with
+      | `Collapse -> Stack.unit_hooks
+      | `Prediction ->
+        { Stack.unit_hooks with eval_conf = Stack.default_eval_conf () }
+    in
+    let sys = warm_system_with ~hooks ~seed n in
+    let victims =
+      match kind with
+      | `Collapse ->
+        (* destroy the majority but leave at least two survivors: the core
+           condition |core()| > 1 (line 12) needs a second witness *)
+        min (n - 2) ((n / 2) + 1)
+      | `Prediction ->
+        (* kill ⌈n/4⌉ so the example predictor (reconfigure when 1/4 of the
+           members look failed) fires while the majority survives *)
+        (n + 3) / 4
+    in
+    List.iter (fun p -> Stack.crash sys p) (List.init victims (fun i -> i + 1));
+    let survivors =
+      Pid.set_of_list (List.init (n - victims) (fun i -> victims + i + 1))
+    in
+    let start = Engine.rounds (Stack.engine sys) in
+    let ok =
+      Stack.run_until sys ~max_steps:3_000_000 (fun t ->
+          match Stack.uniform_config t with
+          | Some c -> Pid.Set.subset c survivors && Stack.quiescent t
+          | None -> false)
+    in
+    (ok, Engine.rounds (Stack.engine sys) - start, Stack.total_triggers sys)
+  in
+  let rows =
+    List.concat_map
+      (fun n ->
+        List.map
+          (fun kind ->
+            let results = List.map (fun seed -> run_case n seed ~kind) p.seeds in
+            let label = match kind with `Collapse -> "majority collapse" | `Prediction -> "prediction (1/4 crash)" in
+            [
+              Table.cell_int n;
+              label;
+              Table.cell_bool (List.for_all (fun (ok, _, _) -> ok) results);
+              Table.cell_float (mean (List.map (fun (_, r, _) -> float_of_int r) results));
+              Table.cell_int (List.fold_left (fun a (_, _, t) -> a + t) 0 results);
+            ])
+          [ `Collapse; `Prediction ])
+      p.sizes
+  in
+  Table.make ~id:"E4" ~title:"recMA reconfigures on collapse and on prediction"
+    ~claim:
+      "Lemma 3.20: if a majority of members collapses, or a majority's \
+       prediction function asks for it, a reconfiguration to a live \
+       configuration takes place"
+    ~header:[ "N"; "scenario"; "reconfigured"; "rounds(mean)"; "triggers" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E5 — Theorem 3.26: joining.                                         *)
+(* ------------------------------------------------------------------ *)
+
+let e5_joining p =
+  let rows =
+    List.concat_map
+      (fun n ->
+        List.map
+          (fun joiners ->
+            let results =
+              List.map
+                (fun seed ->
+                  let sys = warm_system ~seed n in
+                  let ids = List.init joiners (fun i -> 100 + i) in
+                  List.iter (fun j -> Stack.add_joiner sys j) ids;
+                  let start = Engine.rounds (Stack.engine sys) in
+                  let ok =
+                    Stack.run_until sys ~max_steps:2_000_000 (fun t ->
+                        List.for_all
+                          (fun j -> Recsa.is_participant (Stack.node t j).Stack.sa)
+                          ids)
+                  in
+                  (ok, float_of_int (Engine.rounds (Stack.engine sys) - start)))
+                p.seeds
+            in
+            [
+              Table.cell_int n;
+              Table.cell_int joiners;
+              Table.cell_bool (List.for_all fst results);
+              Table.cell_float (mean (List.map snd results));
+            ])
+          [ 1; 3 ])
+      p.sizes
+  in
+  Table.make ~id:"E5" ~title:"joining latency"
+    ~claim:
+      "Theorem 3.26: joiners gathering passes from a majority of members \
+       become participants; they cannot join mid-reconfiguration"
+    ~header:[ "N"; "joiners"; "all joined"; "rounds(mean)" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E6 — Theorem 4.4: label creations.                                  *)
+(* ------------------------------------------------------------------ *)
+
+let e6_label_creations p =
+  let m_bound = 8 in
+  let rows =
+    List.map
+      (fun n ->
+        let per_seed =
+          List.map
+            (fun seed ->
+              let hooks = Labels.Label_service.hooks ~in_transit_bound:m_bound in
+              let sys = warm_system_with ~hooks ~seed n in
+              let agreed t = Labels.Label_service.agreed_max t <> None in
+              ignore (Stack.run_until sys ~max_steps:2_000_000 agreed);
+              (* (a) arbitrary label state: plant incomparable same-creator
+                 labels everywhere *)
+              List.iter
+                (fun (pid, node) ->
+                  match node.Stack.app.Labels.Label_service.algo with
+                  | Some algo ->
+                    let garbage j =
+                      Labels.Label.pair_of
+                        (Labels.Label.make ~creator:j ~sting:(1000 + pid)
+                           ~antistings:[ 2000 + pid ])
+                    in
+                    Labels.Label_algo.corrupt algo
+                      ~max_entries:(List.map (fun j -> (j, garbage j)) (members_of n))
+                      ~stored_entries:[]
+                  | None -> ())
+                (Stack.live_nodes sys);
+              let before = Labels.Label_service.total_creations sys in
+              ignore (Stack.run_until sys ~max_steps:2_000_000 agreed);
+              let corrupt_creations = Labels.Label_service.total_creations sys - before in
+              (* (b) after a delicate reconfiguration *)
+              let rec propose tries =
+                if tries = 0 then ()
+                else if not (Stack.estab sys 1 (Pid.set_of_list (members_of (n - 1)))) then begin
+                  Stack.run_rounds sys 2;
+                  propose (tries - 1)
+                end
+              in
+              propose 100;
+              let before = Labels.Label_service.total_creations sys in
+              ignore
+                (Stack.run_until sys ~max_steps:2_000_000 (fun t ->
+                     (match Stack.uniform_config t with
+                     | Some c -> Pid.Set.cardinal c = n - 1
+                     | None -> false)
+                     && agreed t));
+              let reconfig_creations = Labels.Label_service.total_creations sys - before in
+              (float_of_int corrupt_creations, float_of_int reconfig_creations))
+            p.seeds
+        in
+        let corrupt_bound = n * ((n * n) + m_bound) in
+        let reconfig_bound = n * n in
+        [
+          Table.cell_int n;
+          Table.cell_float (mean (List.map fst per_seed));
+          Table.cell_int corrupt_bound;
+          Table.cell_float (mean (List.map snd per_seed));
+          Table.cell_int reconfig_bound;
+          Table.cell_bool
+            (fmax (List.map fst per_seed) <= float_of_int corrupt_bound
+            && fmax (List.map snd per_seed) <= float_of_int reconfig_bound);
+        ])
+      p.sizes
+  in
+  Table.make ~id:"E6" ~title:"label creations until a maximal label"
+    ~claim:
+      "Theorem 4.4: at most O(N(N^2+m)) creations from an arbitrary state; \
+       at most O(N^2) after a reconfiguration"
+    ~header:
+      [
+        "N";
+        "creations(corrupt)";
+        "bound N(N^2+m)";
+        "creations(reconfig)";
+        "bound N^2";
+        "within bounds";
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E7 — Theorem 4.6: counter increments.                               *)
+(* ------------------------------------------------------------------ *)
+
+let e7_counter_increments p =
+  let open Counters in
+  let rows =
+    List.concat_map
+      (fun n ->
+        List.map
+          (fun clients ->
+            let results =
+              List.map
+                (fun seed ->
+                  let hooks =
+                    Counter_service.hooks ~in_transit_bound:8 ~exhaust_bound:(1 lsl 30)
+                  in
+                  let sys = warm_system_with ~hooks ~seed n in
+                  let ids = List.init clients (fun i -> i + 1) in
+                  let app t pid = (Stack.node t pid).Stack.app in
+                  List.iter (fun pid -> Counter_service.request_increment (app sys pid)) ids;
+                  let all_done t =
+                    List.for_all (fun pid -> Counter_service.results (app t pid) <> []) ids
+                  in
+                  let ok = Stack.run_until sys ~max_steps:2_000_000 all_done in
+                  let counters =
+                    List.concat_map (fun pid -> Counter_service.results (app sys pid)) ids
+                  in
+                  let distinct =
+                    List.for_all
+                      (fun c ->
+                        List.length (List.filter (Counter.equal c) counters) = 1)
+                      counters
+                  in
+                  let ordered =
+                    List.for_all
+                      (fun c ->
+                        List.for_all
+                          (fun c' -> Counter.equal c c' || Counter.comparable c c')
+                          counters)
+                      counters
+                  in
+                  let aborts =
+                    List.fold_left (fun a pid -> a + Counter_service.aborts (app sys pid)) 0 ids
+                  in
+                  (ok, distinct && ordered, aborts))
+                p.seeds
+            in
+            [
+              Table.cell_int n;
+              Table.cell_int clients;
+              Table.cell_bool (List.for_all (fun (ok, _, _) -> ok) results);
+              Table.cell_bool (List.for_all (fun (_, o, _) -> o) results);
+              Table.cell_int (List.fold_left (fun a (_, _, x) -> a + x) 0 results);
+            ])
+          [ 1; n / 2; n ])
+      p.sizes
+  in
+  Table.make ~id:"E7" ~title:"concurrent counter increments are totally ordered"
+    ~claim:
+      "Theorem 4.6: increments return monotonically increasing, pairwise \
+       distinct and comparable counters, even under concurrency"
+    ~header:[ "N"; "clients"; "all completed"; "distinct+ordered"; "aborts" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E8 — Theorem 4.13: VS SMR throughput and crash tolerance.           *)
+(* ------------------------------------------------------------------ *)
+
+let e8_vs_smr p =
+  let open Vs in
+  let machine = { Vs_service.initial = 0; apply = (fun s c -> s + c) } in
+  let commands_per_node = 5 in
+  let run n seed ~crash_coordinator =
+    let hooks = Vs_service.hooks ~machine () in
+    let sys = warm_system_with ~hooks ~seed n in
+    let in_view t =
+      List.for_all
+        (fun (_, node) ->
+          Vs_service.status_of node.Stack.app = Vs_service.Multicast
+          && (Vs_service.current_view node.Stack.app).Vs_service.vid <> None)
+        (Stack.live_nodes t)
+    in
+    if not (Stack.run_until sys ~max_steps:2_000_000 in_view) then None
+    else begin
+      let start = Engine.rounds (Stack.engine sys) in
+      (* crashing the coordinator first exercises re-election; commands are
+         then submitted at survivors (a command pending at a crashed client
+         is lost by definition) *)
+      (if crash_coordinator then
+         match
+           List.find_opt
+             (fun (_, node) -> Vs_service.is_coordinator node.Stack.app)
+             (Stack.live_nodes sys)
+         with
+         | Some (pid, _) -> Stack.crash sys pid
+         | None -> ());
+      let total = ref 0 in
+      List.iter
+        (fun (pid, node) ->
+          ignore pid;
+          for c = 1 to commands_per_node do
+            Vs_service.submit node.Stack.app c;
+            total := !total + c
+          done)
+        (Stack.live_nodes sys);
+      let expected = !total in
+      let done_ t =
+        List.for_all
+          (fun (_, node) -> Vs_service.replica node.Stack.app = expected)
+          (Stack.live_nodes t)
+      in
+      let ok = Stack.run_until sys ~max_steps:3_000_000 done_ in
+      let rounds = Engine.rounds (Stack.engine sys) - start in
+      Some (ok, rounds, List.length (Stack.live_nodes sys) * commands_per_node)
+    end
+  in
+  let rows =
+    List.concat_map
+      (fun n ->
+        List.map
+          (fun crash ->
+            let results = List.filter_map (fun seed -> run n seed ~crash_coordinator:crash) p.seeds in
+            let all_ok = results <> [] && List.for_all (fun (ok, _, _) -> ok) results in
+            let rounds = List.map (fun (_, r, _) -> float_of_int r) results in
+            let cmds = match results with (_, _, c) :: _ -> c | [] -> 0 in
+            [
+              Table.cell_int n;
+              (if crash then "coordinator crash mid-run" else "steady");
+              Table.cell_bool all_ok;
+              Table.cell_int cmds;
+              Table.cell_float (mean rounds);
+              Table.cell_float
+                (if mean rounds > 0.0 then float_of_int cmds /. mean rounds else 0.0);
+            ])
+          [ false; true ])
+      p.sizes
+  in
+  Table.make ~id:"E8" ~title:"virtually synchronous SMR"
+    ~claim:
+      "Theorem 4.13: the SMR delivers all multicast commands to every \
+       replica in the same order, preserving state across coordinator \
+       crashes"
+    ~header:[ "N"; "scenario"; "all delivered"; "commands"; "rounds(mean)"; "cmds/round" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E9 — baseline comparison: self-stabilization matters.               *)
+(* ------------------------------------------------------------------ *)
+
+let e9_baseline_comparison p =
+  let n = match p.sizes with first :: _ -> first | [] -> 4 in
+  let trials = List.length p.seeds in
+  let dead_config = Pid.set_of_list [ 1777; 1888 ] in
+  let baseline_recoveries =
+    List.length
+      (List.filter
+         (fun seed ->
+           let b = Baseline.Epoch_config.create ~seed ~members:(members_of n) () in
+           Baseline.Epoch_config.run_rounds b 10;
+           Baseline.Epoch_config.corrupt b 1 ~epoch:1_000_000 ~config:dead_config;
+           Baseline.Epoch_config.run_rounds b p.max_rounds;
+           Baseline.Epoch_config.healthy b)
+         p.seeds)
+  in
+  let ours =
+    List.filter_map
+      (fun seed ->
+        let sys = warm_system ~seed n in
+        List.iter
+          (fun (_, node) ->
+            Recsa.corrupt node.Stack.sa ~config:(Config_value.Set dead_config) ())
+          (Stack.live_nodes sys);
+        Stack.run_until_quiescent sys ~max_rounds:p.max_rounds)
+      p.seeds
+  in
+  let rows =
+    [
+      [
+        "epoch baseline (non-stabilizing)";
+        Table.cell_int trials;
+        Table.cell_int baseline_recoveries;
+        "-";
+      ];
+      [
+        "ssreconf (this paper)";
+        Table.cell_int trials;
+        Table.cell_int (List.length ours);
+        Table.cell_float (mean (List.map float_of_int ours));
+      ];
+    ]
+  in
+  Table.make ~id:"E9" ~title:"recovery from a transient fault: baseline vs ssreconf"
+    ~claim:
+      "Section 1 / Related work: prior reconfiguration schemes assume a \
+       coherent start and never recover from a planted dead configuration; \
+       the self-stabilizing scheme always does"
+    ~header:[ "system"; "trials"; "recovered"; "recovery rounds(mean)" ]
+    ~notes:
+      [
+        Format.asprintf
+          "fault: one node (baseline) / all nodes (ssreconf) get config=%a with a huge epoch"
+          Pid.pp_set dead_config;
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E10 — Figure 1: the module interfaces compose as depicted.          *)
+(* ------------------------------------------------------------------ *)
+
+let e10_interface_contract p =
+  let seed = match p.seeds with s :: _ -> s | [] -> 1 in
+  let n = match p.sizes with s :: _ -> s | [] -> 4 in
+  let blocked = ref true in
+  let hooks =
+    { Stack.unit_hooks with pass_query = (fun ~self:_ ~joiner -> joiner <> 200 || not !blocked) }
+  in
+  let sys = warm_system_with ~hooks ~seed n in
+  let checks = ref [] in
+  let check name ok = checks := (name, ok) :: !checks in
+  (* getConfig: uniform in steady state *)
+  let configs =
+    List.map
+      (fun (pid, node) -> Recsa.get_config node.Stack.sa ~trusted:(Stack.trusted_of sys pid))
+      (Stack.live_nodes sys)
+  in
+  check "getConfig() uniform across participants"
+    (match configs with
+    | first :: rest -> List.for_all (Config_value.equal first) rest
+    | [] -> false);
+  (* noReco: true in steady state *)
+  check "noReco() true in steady state"
+    (List.for_all
+       (fun (pid, node) -> Recsa.no_reco node.Stack.sa ~trusted:(Stack.trusted_of sys pid))
+       (Stack.live_nodes sys));
+  (* estab honored *)
+  let target = Pid.set_of_list (members_of (n - 1)) in
+  let accepted = Stack.estab sys 1 target in
+  let installed =
+    Stack.run_until sys ~max_steps:2_000_000 (fun t ->
+        match Stack.uniform_config t with
+        | Some c -> Pid.Set.equal c target && Stack.quiescent t
+        | None -> false)
+  in
+  check "estab(set) installs the proposal" (accepted && installed);
+  (* passQuery gating *)
+  Stack.add_joiner sys 200;
+  Stack.run_rounds sys 60;
+  check "passQuery()=false blocks participate()"
+    (not (Recsa.is_participant (Stack.node sys 200).Stack.sa));
+  blocked := false;
+  let joined =
+    Stack.run_until sys ~max_steps:2_000_000 (fun t ->
+        Recsa.is_participant (Stack.node t 200).Stack.sa)
+  in
+  check "passQuery()=true admits participate()" joined;
+  let rows =
+    List.rev_map (fun (name, ok) -> [ name; Table.cell_bool ok ]) !checks
+  in
+  Table.make ~id:"E10" ~title:"module interface contract (Figure 1)"
+    ~claim:
+      "Figure 1: getConfig/noReco/estab/participate/passQuery compose \
+       across recSA, recMA, the joining mechanism and the application"
+    ~header:[ "property"; "holds" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E11 — shared memory emulation.                                      *)
+(* ------------------------------------------------------------------ *)
+
+let e11_shared_memory p =
+  let open Vs in
+  let rows =
+    List.map
+      (fun n ->
+        let results =
+          List.map
+            (fun seed ->
+              let sys = warm_system_with ~hooks:(Shared_memory.hooks ()) ~seed n in
+              let app pid = (Stack.node sys pid).Stack.app in
+              let in_view t =
+                List.for_all
+                  (fun (_, node) ->
+                    Vs_service.status_of node.Stack.app = Vs_service.Multicast
+                    && (Vs_service.current_view node.Stack.app).Vs_service.vid <> None)
+                  (Stack.live_nodes t)
+              in
+              if not (Stack.run_until sys ~max_steps:2_000_000 in_view) then (false, false)
+              else begin
+                (* writers write distinct values; readers read after *)
+                List.iteri
+                  (fun i pid -> Shared_memory.write (app pid) ~writer:pid "r" (100 + i))
+                  (members_of n);
+                let writes_done t =
+                  List.for_all
+                    (fun (_, node) -> Shared_memory.peek node.Stack.app "r" <> None)
+                    (Stack.live_nodes t)
+                in
+                let w_ok = Stack.run_until sys ~max_steps:2_000_000 writes_done in
+                List.iter
+                  (fun pid -> Shared_memory.read (app pid) ~reader:pid ~rid:1 "r")
+                  (members_of n);
+                let reads_done _t =
+                  List.for_all
+                    (fun pid ->
+                      match Shared_memory.read_result (app pid) ~reader:pid ~rid:1 with
+                      | Some (Some v) -> v >= 100 && v < 100 + n
+                      | Some None | None -> false)
+                    (members_of n)
+                in
+                let r_ok = Stack.run_until sys ~max_steps:2_000_000 reads_done in
+                (* atomicity: every node sees the same final value *)
+                let finals =
+                  List.map (fun (_, node) -> Shared_memory.peek node.Stack.app "r")
+                    (Stack.live_nodes sys)
+                in
+                let agree =
+                  match finals with
+                  | first :: rest -> List.for_all (( = ) first) rest
+                  | [] -> false
+                in
+                (w_ok && r_ok, agree)
+              end)
+            p.seeds
+        in
+        [
+          Table.cell_int n;
+          Table.cell_bool (List.for_all fst results);
+          Table.cell_bool (List.for_all snd results);
+        ])
+      p.sizes
+  in
+  Table.make ~id:"E11" ~title:"MWMR shared memory emulation"
+    ~claim:
+      "Section 4.3: reads and writes over the virtually synchronous SMR \
+       form an atomic multi-writer multi-reader register between delicate \
+       reconfigurations"
+    ~header:[ "N"; "ops completed"; "replicas agree" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E12 — churn: sustained joins and leaves.                             *)
+(* ------------------------------------------------------------------ *)
+
+let e12_churn p =
+  let n = match p.sizes with first :: _ -> first | [] -> 4 in
+  let rows =
+    List.concat_map
+      (fun churn_period ->
+        List.map
+          (fun seed ->
+            let hooks =
+              { Stack.unit_hooks with eval_conf = Stack.default_eval_conf () }
+            in
+            let sys = warm_system_with ~hooks ~seed (2 * n) in
+            (* alternate joins and crashes every [churn_period] rounds *)
+            let next_id = ref 1000 in
+            let crashed = ref 0 in
+            let events = 6 in
+            for i = 1 to events do
+              if i mod 2 = 0 && !crashed < n then begin
+                Stack.crash sys (!crashed + 1);
+                incr crashed
+              end
+              else begin
+                Stack.add_joiner sys !next_id;
+                incr next_id
+              end;
+              Stack.run_rounds sys churn_period
+            done;
+            (* churn stops; the system must settle on a configuration with
+               a live majority *)
+            let healthy t =
+              Stack.quiescent t
+              &&
+              match Stack.uniform_config t with
+              | Some c ->
+                Quorum.has_majority ~config:c
+                  (Pid.set_of_list (Engine.live_pids (Stack.engine t)))
+              | None -> false
+            in
+            let rec wait budget =
+              if healthy sys then Some (Engine.rounds (Stack.engine sys))
+              else if budget = 0 then None
+              else begin
+                Stack.run_rounds sys 5;
+                wait (budget - 1)
+              end
+            in
+            let start = Engine.rounds (Stack.engine sys) in
+            let settled = wait 120 in
+            [
+              Table.cell_int churn_period;
+              Table.cell_int seed;
+              Table.cell_bool (settled <> None);
+              (match settled with
+              | Some r -> Table.cell_int (r - start)
+              | None -> "-");
+              Table.cell_int (Stack.total_triggers sys);
+            ])
+          p.seeds)
+      [ 5; 15; 40 ]
+  in
+  Table.make ~id:"E12" ~title:"sustained churn"
+    ~claim:
+      "Section 1: the scheme tolerates ongoing joins and crashes; once the \
+       churn rate assumption holds again, a steady majority-live \
+       configuration is re-established"
+    ~header:[ "rounds between churn events"; "seed"; "settled"; "settle rounds"; "recMA triggers" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E13 — (N,Θ)-failure-detector estimate accuracy (Section 2).          *)
+(* ------------------------------------------------------------------ *)
+
+let e13_fd_estimate p =
+  let rows =
+    List.concat_map
+      (fun n ->
+        List.map
+          (fun crashed ->
+            let per_seed =
+              List.map
+                (fun seed ->
+                  let sys = warm_system ~seed n in
+                  List.iter (fun v -> Stack.crash sys v) (List.init crashed (fun i -> i + 1));
+                  Stack.run_rounds sys 60;
+                  let estimates =
+                    List.map
+                      (fun (_, node) ->
+                        float_of_int (Detector.Theta_fd.estimate node.Stack.fd))
+                      (Stack.live_nodes sys)
+                  in
+                  mean estimates)
+                p.seeds
+            in
+            [
+              Table.cell_int n;
+              Table.cell_int crashed;
+              Table.cell_int (n - crashed);
+              Table.cell_float (mean per_seed);
+            ])
+          [ 0; max 1 (n / 4) ])
+      p.sizes
+  in
+  Table.make ~id:"E13" ~title:"failure-detector live-count estimate"
+    ~claim:
+      "Section 2: the heartbeat-gap estimation converges to the number of \
+       active processors (n_i <= N)"
+    ~header:[ "N"; "crashed"; "actual live"; "estimate(mean)" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E14 — partitions: temporary connectivity violations.                 *)
+(* ------------------------------------------------------------------ *)
+
+let e14_partitions p =
+  let n = match List.rev p.sizes with last :: _ -> last | [] -> 8 in
+  let rows =
+    List.concat_map
+      (fun cut_rounds ->
+        List.map
+          (fun seed ->
+            let sys = warm_system ~seed n in
+            let minority = Pid.set_of_list (List.init (n / 2) (fun i -> i + 1)) in
+            Engine.partition (Stack.engine sys) minority;
+            Stack.run_rounds sys cut_rounds;
+            Engine.heal (Stack.engine sys);
+            let start = Engine.rounds (Stack.engine sys) in
+            let ok =
+              Stack.run_until sys ~max_steps:3_000_000 (fun t ->
+                  Stack.quiescent t && Stack.uniform_config t <> None)
+            in
+            [
+              Table.cell_int cut_rounds;
+              Table.cell_int seed;
+              Table.cell_bool ok;
+              Table.cell_int (Engine.rounds (Stack.engine sys) - start);
+              Table.cell_int (Stack.total_resets sys);
+            ])
+          p.seeds)
+      [ 10; 40; 120 ]
+  in
+  Table.make ~id:"E14" ~title:"temporary partitions"
+    ~claim:
+      "Section 1: a temporary violation of connectivity is a transient \
+       fault; after healing, a single steady configuration holds (no split \
+       brain)"
+    ~header:[ "cut rounds"; "seed"; "steady after heal"; "rounds to steady"; "resets" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E15 — message overhead per protocol layer.                           *)
+(* ------------------------------------------------------------------ *)
+
+let e15_message_overhead p =
+  let rows =
+    List.map
+      (fun n ->
+        let seed = match p.seeds with s :: _ -> s | [] -> 1 in
+        let sys = warm_system ~seed n in
+        let m = Engine.metrics (Stack.engine sys) in
+        let before kind = Metrics.get m ("sent." ^ kind) in
+        let sa0 = before "sa" and ma0 = before "ma" and hb0 = before "heartbeat" in
+        let rounds = 50 in
+        Stack.run_rounds sys rounds;
+        let per_round v0 kind =
+          float_of_int (Metrics.get m ("sent." ^ kind) - v0) /. float_of_int rounds
+        in
+        [
+          Table.cell_int n;
+          Table.cell_float (per_round sa0 "sa");
+          Table.cell_float (per_round ma0 "ma");
+          Table.cell_float (per_round hb0 "heartbeat");
+          Table.cell_float
+            (per_round sa0 "sa" +. per_round ma0 "ma" +. per_round hb0 "heartbeat");
+        ])
+      p.sizes
+  in
+  Table.make ~id:"E15" ~title:"message overhead per layer (steady state)"
+    ~claim:
+      "bounded message complexity: every layer broadcasts O(N) messages per \
+       node per round (O(N^2) system-wide), with bounded message size"
+    ~header:
+      [ "N"; "recSA msgs/round"; "recMA msgs/round"; "heartbeats/round"; "total/round" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E16 — the two shared-memory emulations compared.                     *)
+(* ------------------------------------------------------------------ *)
+
+let e16_register_comparison p =
+  let seed = match p.seeds with s :: _ -> s | [] -> 1 in
+  let ops = 5 in
+  let run_smr n =
+    let sys = warm_system_with ~hooks:(Vs.Shared_memory.hooks ()) ~seed n in
+    let app pid = (Stack.node sys pid).Stack.app in
+    let in_view t =
+      List.for_all
+        (fun (_, node) ->
+          Vs.Vs_service.status_of node.Stack.app = Vs.Vs_service.Multicast
+          && (Vs.Vs_service.current_view node.Stack.app).Vs.Vs_service.vid <> None)
+        (Stack.live_nodes t)
+    in
+    if not (Stack.run_until sys ~max_steps:2_000_000 in_view) then None
+    else begin
+      let start = Engine.rounds (Stack.engine sys) in
+      let rec do_ops i =
+        if i > ops then true
+        else begin
+          Vs.Shared_memory.write (app 1) ~writer:1 "r" i;
+          let written t =
+            Vs.Shared_memory.peek (Stack.node t 2).Stack.app "r" = Some i
+          in
+          if not (Stack.run_until sys ~max_steps:1_000_000 written) then false
+          else begin
+            Vs.Shared_memory.read (app 3) ~reader:3 ~rid:i "r";
+            if
+              Stack.run_until sys ~max_steps:1_000_000 (fun t ->
+                  Vs.Shared_memory.read_result ((Stack.node t 3).Stack.app) ~reader:3 ~rid:i
+                  = Some (Some i))
+            then do_ops (i + 1)
+            else false
+          end
+        end
+      in
+      if do_ops 1 then
+        Some (float_of_int (Engine.rounds (Stack.engine sys) - start) /. float_of_int (2 * ops))
+      else None
+    end
+  in
+  let run_reg n =
+    let sys = warm_system_with ~hooks:(Register.Register_service.hooks ()) ~seed n in
+    let app t pid = (Stack.node t pid).Stack.app in
+    let start = Engine.rounds (Stack.engine sys) in
+    let rec do_ops i =
+      if i > ops then true
+      else begin
+        Register.Register_service.write (app sys 1) ~rid:i "r" i;
+        if
+          not
+            (Stack.run_until sys ~max_steps:1_000_000 (fun t ->
+                 Register.Register_service.write_done (app t 1) ~rid:i))
+        then false
+        else begin
+          Register.Register_service.read (app sys 3) ~rid:i "r";
+          if
+            Stack.run_until sys ~max_steps:1_000_000 (fun t ->
+                Register.Register_service.find_read (app t 3) ~rid:i = Some (Some i))
+          then do_ops (i + 1)
+          else false
+        end
+      end
+    in
+    if do_ops 1 then
+      Some (float_of_int (Engine.rounds (Stack.engine sys) - start) /. float_of_int (2 * ops))
+    else None
+  in
+  let rows =
+    List.concat_map
+      (fun n ->
+        let cell = function Some r -> Table.cell_float r | None -> "-" in
+        [
+          [ Table.cell_int n; "SMR-based (Vs.Shared_memory)"; cell (run_smr n) ];
+          [ Table.cell_int n; "quorum-based (Register_service)"; cell (run_reg n) ];
+        ])
+      p.sizes
+  in
+  Table.make ~id:"E16" ~title:"shared-memory emulations: SMR vs quorum register"
+    ~claim:
+      "Section 4.3: both emulation routes provide atomic MWMR registers; \
+       the quorum route pays two majority round trips per operation while \
+       the SMR route pays a multicast round, so their costs converge but \
+       the SMR route suspends during reconfigurations"
+    ~header:[ "N"; "emulation"; "rounds per op (mean)" ]
+    rows
+
+let all p =
+  [
+    e1_convergence p;
+    e2_delicate_replacement p;
+    e3_recma_trigger_bound p;
+    e4_recma_liveness p;
+    e5_joining p;
+    e6_label_creations p;
+    e7_counter_increments p;
+    e8_vs_smr p;
+    e9_baseline_comparison p;
+    e10_interface_contract p;
+    e11_shared_memory p;
+    e12_churn p;
+    e13_fd_estimate p;
+    e14_partitions p;
+    e15_message_overhead p;
+    e16_register_comparison p;
+  ]
+
+let registry =
+  [
+    ("E1", e1_convergence);
+    ("E2", e2_delicate_replacement);
+    ("E3", e3_recma_trigger_bound);
+    ("E4", e4_recma_liveness);
+    ("E5", e5_joining);
+    ("E6", e6_label_creations);
+    ("E7", e7_counter_increments);
+    ("E8", e8_vs_smr);
+    ("E9", e9_baseline_comparison);
+    ("E10", e10_interface_contract);
+    ("E11", e11_shared_memory);
+    ("E12", e12_churn);
+    ("E13", e13_fd_estimate);
+    ("E14", e14_partitions);
+    ("E15", e15_message_overhead);
+    ("E16", e16_register_comparison);
+  ]
+
+let by_id id = List.assoc_opt (String.uppercase_ascii id) registry
+let ids = List.map fst registry

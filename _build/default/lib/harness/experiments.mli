@@ -1,0 +1,41 @@
+(** The experiment suite (EXPERIMENTS.md / DESIGN.md Section 5).
+
+    The paper is a theory paper: its evaluation is a set of theorems and
+    asymptotic bounds plus two structural figures. Each experiment here
+    regenerates the measurable content of one claim on the simulation
+    substrate. Every experiment is deterministic given its seeds. *)
+
+(** Default parameters; callers (bench, CLI) can shrink for quick runs. *)
+type params = {
+  sizes : int list;  (** configuration sizes N *)
+  seeds : int list;  (** one run per (size, seed) *)
+  max_rounds : int;  (** convergence budget per run *)
+}
+
+val default_params : params
+val quick_params : params
+
+val e1_convergence : params -> Table.t
+val e2_delicate_replacement : params -> Table.t
+val e3_recma_trigger_bound : params -> Table.t
+val e4_recma_liveness : params -> Table.t
+val e5_joining : params -> Table.t
+val e6_label_creations : params -> Table.t
+val e7_counter_increments : params -> Table.t
+val e8_vs_smr : params -> Table.t
+val e9_baseline_comparison : params -> Table.t
+val e10_interface_contract : params -> Table.t
+val e11_shared_memory : params -> Table.t
+val e12_churn : params -> Table.t
+val e13_fd_estimate : params -> Table.t
+val e14_partitions : params -> Table.t
+val e15_message_overhead : params -> Table.t
+val e16_register_comparison : params -> Table.t
+
+(** All experiments in order. *)
+val all : params -> Table.t list
+
+(** [by_id id] — lookup an experiment by its "E<n>" identifier. *)
+val by_id : string -> (params -> Table.t) option
+
+val ids : string list

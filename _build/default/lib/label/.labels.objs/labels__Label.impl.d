@@ -1,0 +1,1 @@
+lib/label/label.ml: Format Int List Pid Set Sim

@@ -1,0 +1,1 @@
+lib/label/label.mli: Format Pid Set Sim

@@ -1,0 +1,1 @@
+lib/label/label_algo.ml: Format Label List Pid Sim

@@ -1,0 +1,1 @@
+lib/label/label_algo.mli: Format Label Pid Sim

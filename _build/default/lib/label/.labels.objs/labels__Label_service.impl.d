@@ -1,0 +1,1 @@
+lib/label/label_service.ml: Config_value Format Label Label_algo List Option Pid Reconfig Recsa Sim Stack

@@ -1,0 +1,1 @@
+lib/label/label_service.mli: Label Label_algo Reconfig Stack

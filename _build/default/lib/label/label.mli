@@ -1,0 +1,68 @@
+(** Bounded epoch labels — the label structure of Dolev et al. [11]
+    (re-implemented from its published description; Section 4.1 of the
+    paper).
+
+    A label is ⟨lCreator, sting, antistings⟩. Comparison is first by
+    creator identifier; between labels of the same creator,
+    ℓ1 ≺ ℓ2 ⟺ ℓ1.sting ∈ ℓ2.antistings ∧ ℓ2.sting ∉ ℓ1.antistings —
+    which makes same-creator labels possibly {e incomparable} (exactly the
+    situation the cancellation machinery of Algorithm 4.2 resolves).
+
+    Given any bounded set of labels, a processor can create a label greater
+    than all of them: choose a sting outside every antisting set seen and
+    antistings covering every sting seen. Sting values are drawn from a
+    bounded domain; boundedness holds because the label storage itself is
+    bounded (Algorithm 4.2's queues). *)
+
+open Sim
+
+module Int_set : Set.S with type elt = int
+
+type t = {
+  creator : Pid.t;
+  sting : int;
+  antistings : Int_set.t;
+}
+
+val make : creator:Pid.t -> sting:int -> antistings:int list -> t
+val equal : t -> t -> bool
+
+(** [precedes l1 l2] — the partial order ≺lb. *)
+val precedes : t -> t -> bool
+
+(** [comparable l1 l2] — related by ≺lb one way or the other, or equal. *)
+val comparable : t -> t -> bool
+
+(** A deterministic total tiebreak (creator, sting, antistings) used only to
+    choose among ≺lb-maximal elements; NOT the semantic order. *)
+val compare_total : t -> t -> int
+
+(** [max_legit labels] — a ≺lb-maximal element of [labels] (ties broken by
+    [compare_total]); [None] on empty input. *)
+val max_legit : t list -> t option
+
+(** [next_label ~creator ~known] creates a label by [creator] strictly
+    greater (under ≺lb) than every label in [known] — sting outside all
+    antistings seen, antistings covering all stings seen. *)
+val next_label : creator:Pid.t -> known:t list -> t
+
+val pp : Format.formatter -> t -> unit
+
+(** {2 Label pairs}
+
+    A pair ⟨ml, cl⟩ where [cl] cancels [ml] when present: a canceled label
+    can never again be adopted as maximal. *)
+
+type pair = {
+  ml : t;
+  cl : t option;
+}
+
+val pair_of : t -> pair
+
+(** [legit p] — not canceled. *)
+val legit : pair -> bool
+
+val cancel : pair -> by:t -> pair
+val pair_equal : pair -> pair -> bool
+val pp_pair : Format.formatter -> pair -> unit

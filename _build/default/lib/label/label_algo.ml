@@ -1,0 +1,214 @@
+open Sim
+
+type t = {
+  la_self : Pid.t;
+  mutable la_members : Pid.Set.t;
+  mutable max : Label.pair Pid.Map.t; (* absent entry = ⊥ *)
+  mutable store : Label.pair list Pid.Map.t; (* per-creator queues, front freshest *)
+  m_bound : int; (* labels possibly in transit *)
+  mutable creations : int;
+}
+
+let own_queue_bound t =
+  let v = max 1 (Pid.Set.cardinal t.la_members) in
+  (v * ((v * v) + t.m_bound)) + v
+
+let other_queue_bound t =
+  let v = max 1 (Pid.Set.cardinal t.la_members) in
+  v + t.m_bound
+
+let create ~self ~members ~in_transit_bound =
+  {
+    la_self = self;
+    la_members = members;
+    max = Pid.Map.empty;
+    store = Pid.Map.empty;
+    m_bound = max 1 in_transit_bound;
+    creations = 0;
+  }
+
+let self t = t.la_self
+let members t = t.la_members
+let local_max t = Pid.Map.find_opt t.la_self t.max
+let max_of t j = Pid.Map.find_opt j t.max
+let stored t j = match Pid.Map.find_opt j t.store with Some q -> q | None -> []
+let creations t = t.creations
+
+let truncate n l =
+  let rec go n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: go (n - 1) rest
+  in
+  go n l
+
+let queue_bound t j = if Pid.equal j t.la_self then own_queue_bound t else other_queue_bound t
+
+(* Add a pair to the front of its creator's queue, respecting the bound. *)
+let store_add t (p : Label.pair) =
+  let creator = p.Label.ml.Label.creator in
+  let q = stored t creator in
+  t.store <- Pid.Map.add creator (truncate (queue_bound t creator) (p :: q)) t.store
+
+let clean_pair t (p : Label.pair) =
+  let bad l = not (Pid.Set.mem l.Label.creator t.la_members) in
+  if bad p.Label.ml || (match p.Label.cl with Some c -> bad c | None -> false) then None
+  else Some p
+
+(* cleanMax(): remove max entries whose label was created by a non-member. *)
+let clean_max t =
+  t.max <-
+    Pid.Map.filter_map (fun _ p -> clean_pair t p) t.max
+
+(* staleInfo(): a queue contains a label filed under the wrong creator, or
+   two pairs with the same ml (doubles are handled separately; the wrongly
+   filed case warrants a full flush). *)
+let stale_info t =
+  Pid.Map.exists
+    (fun j q ->
+      List.exists (fun (p : Label.pair) -> not (Pid.equal p.Label.ml.Label.creator j)) q)
+    t.store
+
+let same_ml (a : Label.pair) (b : Label.pair) = Label.equal a.Label.ml b.Label.ml
+
+(* Remove duplicate-ml entries within each queue, preferring a canceled copy
+   (cancellations must never be lost). *)
+let dedup_queues t =
+  t.store <-
+    Pid.Map.map
+      (fun q ->
+        List.fold_left
+          (fun acc p ->
+            match List.find_opt (same_ml p) acc with
+            | None -> acc @ [ p ]
+            | Some existing ->
+              if Label.legit existing && not (Label.legit p) then
+                List.map (fun e -> if same_ml e p then p else e) acc
+              else acc)
+          [] q)
+      t.store
+
+(* Cancel stored legit pairs dominated by (or incomparable with) another
+   stored pair of the same creator — the paper's notgeq. *)
+let cancel_dominated t =
+  t.store <-
+    Pid.Map.map
+      (fun q ->
+        List.map
+          (fun (p : Label.pair) ->
+            if not (Label.legit p) then p
+            else
+              match
+                List.find_opt
+                  (fun (p' : Label.pair) ->
+                    (not (same_ml p' p)) && not (Label.precedes p'.Label.ml p.Label.ml))
+                  q
+              with
+              | Some p' -> Label.cancel p ~by:p'.Label.ml
+              | None -> p)
+          q)
+      t.store
+
+(* Propagate cancellations between the max array and the queues, both
+   directions. *)
+let sync_cancellations t =
+  (* canceled max entries cancel stored copies *)
+  Pid.Map.iter
+    (fun _ (mp : Label.pair) ->
+      if not (Label.legit mp) then
+        t.store <-
+          Pid.Map.map
+            (fun q -> List.map (fun p -> if same_ml p mp && Label.legit p then mp else p) q)
+            t.store)
+    t.max;
+  (* canceled stored copies cancel legit max entries *)
+  t.max <-
+    Pid.Map.map
+      (fun (mp : Label.pair) ->
+        if Label.legit mp then
+          match
+            List.find_opt
+              (fun p -> same_ml p mp && not (Label.legit p))
+              (stored t mp.Label.ml.Label.creator)
+          with
+          | Some canceled -> canceled
+          | None -> mp
+        else mp)
+      t.max
+
+let all_stored_labels t =
+  Pid.Map.fold
+    (fun _ q acc ->
+      List.fold_left
+        (fun acc (p : Label.pair) ->
+          let acc = p.Label.ml :: acc in
+          match p.Label.cl with Some c -> c :: acc | None -> acc)
+        acc q)
+    t.store []
+
+let use_own_label t =
+  match List.find_opt Label.legit (stored t t.la_self) with
+  | Some lp -> t.max <- Pid.Map.add t.la_self lp t.max
+  | None ->
+    (* create a label strictly greater than everything we know about,
+       including canceled labels and canceling labels *)
+    let known = all_stored_labels t in
+    let l = Label.next_label ~creator:t.la_self ~known in
+    t.creations <- t.creations + 1;
+    let lp = Label.pair_of l in
+    store_add t lp;
+    t.max <- Pid.Map.add t.la_self lp t.max
+
+let settle_max t =
+  let legit_labels =
+    Pid.Map.fold
+      (fun _ (p : Label.pair) acc -> if Label.legit p then p.Label.ml :: acc else acc)
+      t.max []
+  in
+  match Label.max_legit legit_labels with
+  | Some l -> t.max <- Pid.Map.add t.la_self (Label.pair_of l) t.max
+  | None -> use_own_label t
+
+let receipt_action t ~sent_max ~last_sent ~from =
+  (* line 18: record the sender's maximum *)
+  (match sent_max with
+  | Some p -> t.max <- Pid.Map.add from p t.max
+  | None -> if not (Pid.equal from t.la_self) then t.max <- Pid.Map.remove from t.max);
+  (* line 19: adopt a cancellation of our own maximum *)
+  (match (last_sent, local_max t) with
+  | Some ls, Some mine when (not (Label.legit ls)) && same_ml ls mine ->
+    t.max <- Pid.Map.add t.la_self ls t.max
+  | _ -> ());
+  (* line 20 *)
+  if stale_info t then t.store <- Pid.Map.empty;
+  (* line 21: every max entry must be recorded in its creator's queue *)
+  Pid.Map.iter
+    (fun _ (p : Label.pair) ->
+      let q = stored t p.Label.ml.Label.creator in
+      if not (List.exists (same_ml p) q) then store_add t p)
+    t.max;
+  (* lines 22-25 *)
+  cancel_dominated t;
+  sync_cancellations t;
+  dedup_queues t;
+  sync_cancellations t;
+  (* lines 26-27 *)
+  settle_max t
+
+let rebuild t ~members =
+  t.la_members <- members;
+  t.store <- Pid.Map.empty;
+  clean_max t;
+  let own = local_max t in
+  t.max <- (match own with Some p -> Pid.Map.singleton t.la_self p | None -> Pid.Map.empty);
+  receipt_action t ~sent_max:None ~last_sent:own ~from:t.la_self
+
+let corrupt t ~max_entries ~stored_entries =
+  List.iter (fun (j, p) -> t.max <- Pid.Map.add j p t.max) max_entries;
+  List.iter (fun (j, q) -> t.store <- Pid.Map.add j q t.store) stored_entries
+
+let pp fmt t =
+  let pp_max fmt m =
+    Pid.Map.iter (fun j p -> Format.fprintf fmt "max[%a]=%a " Pid.pp j Label.pp_pair p) m
+  in
+  Format.fprintf fmt "labels(p%a) %a" Pid.pp t.la_self pp_max t.max

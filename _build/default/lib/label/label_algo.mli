@@ -1,0 +1,64 @@
+(** The fixed-set labeling algorithm of [11] — Algorithm 4.2's
+    [labelReceiptAction], with the bounded [max\[\]] array and
+    [storedLabels\[\]] queues.
+
+    Run by configuration members only. Each member keeps, per member [j],
+    the last label pair received from [j] ([max\[j\]]) and a bounded queue
+    of label pairs created by [j] ([storedLabels\[j\]]). The receipt action
+    cancels dominated or incomparable same-creator labels, propagates
+    cancellations, and settles on a legit maximal label — creating a fresh,
+    strictly greater own label when no legit label survives. *)
+
+open Sim
+
+type t
+
+(** [create ~self ~members ~in_transit_bound] — [in_transit_bound] is the
+    paper's [m], the maximum number of label pairs in transit; queue bounds
+    are [v + m] for other members' labels and [v(v² + m) + v] for own
+    labels, with [v = |members|]. *)
+val create : self:Pid.t -> members:Pid.Set.t -> in_transit_bound:int -> t
+
+val self : t -> Pid.t
+val members : t -> Pid.Set.t
+
+(** [local_max t] — the pair this processor currently believes maximal
+    ([max\[i\]]); [None] before any label exists. *)
+val local_max : t -> Label.pair option
+
+(** [max_of t j] — the last pair received from member [j]. *)
+val max_of : t -> Pid.t -> Label.pair option
+
+(** [stored t j] — the queue of label pairs created by [j] (front =
+    freshest). *)
+val stored : t -> Pid.t -> Label.pair list
+
+(** Total number of labels this processor has created ([nextLabel] calls) —
+    the quantity bounded by Theorem 4.4. *)
+val creations : t -> int
+
+(** [receipt_action t ~sent_max ~last_sent ~from] — Algorithm 4.2's
+    function. [sent_max] is the sender's maximal pair, [last_sent] the echo
+    of our own maximal pair as the sender last saw it. Ensures [local_max]
+    is a legit pair afterwards. *)
+val receipt_action :
+  t -> sent_max:Label.pair option -> last_sent:Label.pair option -> from:Pid.t -> unit
+
+(** [rebuild t ~members] — Algorithm 4.1's [rebuild]/[emptyAllQueues]/
+    [cleanMax] after a reconfiguration: adopt the new member set, drop all
+    queues, remove labels by non-members, then re-run the receipt action on
+    the own maximal label. *)
+val rebuild : t -> members:Pid.Set.t -> unit
+
+(** [clean_pair t p] — the paper's [cleanLP]: [None] when the pair involves
+    a non-member creator. *)
+val clean_pair : t -> Label.pair -> Label.pair option
+
+(** Arbitrary-state injection: overwrite the stored queues and max array. *)
+val corrupt :
+  t ->
+  max_entries:(Pid.t * Label.pair) list ->
+  stored_entries:(Pid.t * Label.pair list) list ->
+  unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/reconfig/config_value.ml: Format Int Pid Sim

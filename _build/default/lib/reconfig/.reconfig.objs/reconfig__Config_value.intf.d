@@ -1,0 +1,1 @@
+lib/reconfig/config_value.mli: Format Pid Sim

@@ -1,0 +1,1 @@
+lib/reconfig/invariants.ml: Detector List Printf Recsa Stack

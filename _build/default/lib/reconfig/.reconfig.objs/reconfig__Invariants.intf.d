@@ -1,0 +1,1 @@
+lib/reconfig/invariants.mli: Pid Recsa Sim Stack

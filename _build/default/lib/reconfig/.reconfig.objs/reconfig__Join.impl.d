@@ -1,0 +1,1 @@
+lib/reconfig/join.ml: Config_value Format List Pid Quorum Recsa Sim

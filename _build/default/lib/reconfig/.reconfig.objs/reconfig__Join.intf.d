@@ -1,0 +1,1 @@
+lib/reconfig/join.mli: Format Pid Quorum Recsa Sim

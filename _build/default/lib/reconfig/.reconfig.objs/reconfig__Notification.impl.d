@@ -1,0 +1,1 @@
+lib/reconfig/notification.ml: Format Int List Pid Sim

@@ -1,0 +1,1 @@
+lib/reconfig/notification.mli: Format Pid Sim

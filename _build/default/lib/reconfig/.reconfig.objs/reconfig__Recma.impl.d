@@ -1,0 +1,1 @@
+lib/reconfig/recma.ml: Config_value Format List Pid Quorum Recsa Sim

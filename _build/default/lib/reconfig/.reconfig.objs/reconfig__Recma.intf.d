@@ -1,0 +1,1 @@
+lib/reconfig/recma.mli: Format Pid Quorum Recsa Sim

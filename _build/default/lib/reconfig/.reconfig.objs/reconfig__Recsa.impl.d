@@ -1,0 +1,1 @@
+lib/reconfig/recsa.ml: Bool Config_value Format List Notification Option Pid Sim

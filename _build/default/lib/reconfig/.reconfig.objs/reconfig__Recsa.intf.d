@@ -1,0 +1,1 @@
+lib/reconfig/recsa.mli: Config_value Format Notification Pid Sim

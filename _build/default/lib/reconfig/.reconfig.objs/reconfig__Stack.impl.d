@@ -1,0 +1,1 @@
+lib/reconfig/stack.ml: Config_value Datalink Detector Engine Join List Metrics Notification Pid Quorum Recma Recsa Rng Sim

@@ -1,0 +1,1 @@
+lib/reconfig/stack.mli: Config_value Datalink Detector Engine Join Pid Quorum Recma Recsa Rng Sim

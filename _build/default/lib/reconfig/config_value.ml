@@ -1,0 +1,31 @@
+open Sim
+
+type t = Not_participant | Reset | Set of Pid.Set.t
+
+let equal a b =
+  match (a, b) with
+  | Not_participant, Not_participant -> true
+  | Reset, Reset -> true
+  | Set s1, Set s2 -> Pid.Set.equal s1 s2
+  | (Not_participant | Reset | Set _), _ -> false
+
+let rank = function Not_participant -> 0 | Reset -> 1 | Set _ -> 2
+
+let compare a b =
+  match (a, b) with
+  | Set s1, Set s2 -> Pid.compare_sets_lex s1 s2
+  | _ -> Int.compare (rank a) (rank b)
+
+let pp fmt = function
+  | Not_participant -> Format.fprintf fmt "#"
+  | Reset -> Format.fprintf fmt "_|_"
+  | Set s -> Pid.pp_set fmt s
+
+let is_set = function Set _ -> true | Not_participant | Reset -> false
+let is_reset = function Reset -> true | Not_participant | Set _ -> false
+
+let is_not_participant = function
+  | Not_participant -> true
+  | Reset | Set _ -> false
+
+let to_set = function Set s -> Some s | Not_participant | Reset -> None

@@ -1,0 +1,25 @@
+(** The [config] field values of Algorithm 3.1.
+
+    A processor's view of the current quorum configuration is either
+    [Not_participant] (the paper's ♯ — the processor has not joined),
+    [Reset] (the paper's ⊥ — a configuration reset is in progress), or
+    [Set s] — the agreed processor set. The empty set is representable but
+    is type-2 stale information and triggers a reset. *)
+
+open Sim
+
+type t =
+  | Not_participant  (** ♯ *)
+  | Reset  (** ⊥ *)
+  | Set of Pid.Set.t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val is_set : t -> bool
+val is_reset : t -> bool
+val is_not_participant : t -> bool
+
+(** [to_set v] is [Some s] iff [v = Set s]. *)
+val to_set : t -> Pid.Set.t option

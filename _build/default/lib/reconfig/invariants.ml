@@ -1,0 +1,34 @@
+let stale_report sys =
+  List.concat_map
+    (fun (p, node) ->
+      let trusted = Detector.Theta_fd.trusted node.Stack.fd in
+      List.map
+        (fun ty -> (p, ty))
+        (Recsa.stale_types node.Stack.sa ~trusted))
+    (Stack.live_nodes sys)
+
+let no_stale_information sys = stale_report sys = []
+
+let steady_config_state sys =
+  Stack.quiescent sys && no_stale_information sys
+
+let closure sys ~rounds =
+  if not (steady_config_state sys) then Error "not in a steady config state"
+  else begin
+    let resets0 = Stack.total_resets sys in
+    let installs0 = Stack.total_installs sys in
+    let rec go k =
+      if k = 0 then Ok ()
+      else begin
+        Stack.run_rounds sys 1;
+        if Stack.total_resets sys > resets0 then
+          Error (Printf.sprintf "reset occurred after %d rounds" (rounds - k + 1))
+        else if Stack.total_installs sys > installs0 then
+          Error (Printf.sprintf "spurious install after %d rounds" (rounds - k + 1))
+        else if not (Stack.quiescent sys) then
+          Error (Printf.sprintf "left quiescence after %d rounds" (rounds - k + 1))
+        else go (k - 1)
+      end
+    in
+    go rounds
+  end

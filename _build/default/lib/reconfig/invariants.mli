@@ -1,0 +1,27 @@
+(** System-wide invariant checking for the reconfiguration scheme.
+
+    Executable versions of the proof obligations: the absence of stale
+    information (Definition 3.1 via {!Recsa.stale_types}), configuration
+    uniformity, and the closure property of Theorem 3.16 — once a steady
+    config state is reached it persists (no resets, no spurious installs)
+    in the absence of new proposals and failures. *)
+
+open Sim
+
+(** Stale information present anywhere in the system: one entry per
+    (processor, type). *)
+val stale_report : ('app, 'msg) Stack.t -> (Pid.t * Recsa.stale_type) list
+
+(** [no_stale_information sys] — Definition 3.1 holds at every live
+    node. *)
+val no_stale_information : ('app, 'msg) Stack.t -> bool
+
+(** [steady_config_state sys] — conflict-free uniform configuration, no
+    stale information, every participant reports [no_reco]. *)
+val steady_config_state : ('app, 'msg) Stack.t -> bool
+
+(** [closure sys ~rounds] — Theorem 3.16(1): starting from a steady config
+    state, run [rounds] rounds and verify the system stays steady the whole
+    time with no resets and no installs. Returns [Ok ()] or
+    [Error reason]. *)
+val closure : ('app, 'msg) Stack.t -> rounds:int -> (unit, string) result

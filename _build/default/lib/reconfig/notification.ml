@@ -1,0 +1,55 @@
+open Sim
+
+type phase = P0 | P1 | P2
+type t = { phase : phase; set : Pid.Set.t option }
+
+let default = { phase = P0; set = None }
+let make phase set = { phase; set = Some set }
+let phase_to_int = function P0 -> 0 | P1 -> 1 | P2 -> 2
+
+let equal a b =
+  a.phase = b.phase
+  &&
+  match (a.set, b.set) with
+  | None, None -> true
+  | Some s1, Some s2 -> Pid.Set.equal s1 s2
+  | None, Some _ | Some _, None -> false
+
+let compare_set a b =
+  match (a, b) with
+  | None, None -> 0
+  | None, Some _ -> -1
+  | Some _, None -> 1
+  | Some s1, Some s2 -> Pid.compare_sets_lex s1 s2
+
+let compare a b =
+  let c = Int.compare (phase_to_int a.phase) (phase_to_int b.phase) in
+  if c <> 0 then c else compare_set a.set b.set
+
+let is_default n = equal n default
+
+let malformed n =
+  match (n.phase, n.set) with
+  | P0, None -> false
+  | P0, Some _ -> true (* type-1: phase 0 must carry no set *)
+  | (P1 | P2), None -> true
+  | (P1 | P2), Some s -> Pid.Set.is_empty s
+
+let degree n ~all = (2 * phase_to_int n.phase) + if all then 1 else 0
+
+let max_of l =
+  List.fold_left
+    (fun acc n ->
+      if is_default n then acc
+      else
+        match acc with
+        | None -> Some n
+        | Some m -> if compare n m > 0 then Some n else acc)
+    None l
+
+let pp fmt n =
+  let pp_set fmt = function
+    | None -> Format.fprintf fmt "_|_"
+    | Some s -> Pid.pp_set fmt s
+  in
+  Format.fprintf fmt "<%d, %a>" (phase_to_int n.phase) pp_set n.set

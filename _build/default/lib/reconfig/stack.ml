@@ -1,0 +1,355 @@
+open Sim
+
+type ('app, 'msg) message =
+  | Heartbeat
+  | Snap of Datalink.Snap_link.msg
+  | Sa of Recsa.message
+  | Ma of Recma.message
+  | Join of 'app Join.message
+  | App of 'msg
+
+type 'app node_state = {
+  fd : Detector.Theta_fd.t;
+  sa : Recsa.t;
+  ma : Recma.t;
+  join : 'app Join.t;
+  mutable app : 'app;
+  mutable seeds : Pid.Set.t;
+  mutable snap : Datalink.Snap_link.t Pid.Map.t;
+  joiner : bool;
+}
+
+type 'app scheme_view = {
+  v_self : Pid.t;
+  v_trusted : Pid.Set.t;
+  v_recsa : Recsa.t;
+  v_emit : string -> string -> unit;
+}
+
+type ('app, 'msg) plugin = {
+  p_init : Pid.t -> 'app;
+  p_tick : 'app scheme_view -> 'app -> 'app * (Pid.t * 'msg) list;
+  p_recv : 'app scheme_view -> from:Pid.t -> 'msg -> 'app -> 'app * (Pid.t * 'msg) list;
+  p_merge : self:Pid.t -> 'app -> 'app Pid.Map.t -> 'app;
+}
+
+type ('app, 'msg) hooks = {
+  eval_conf : self:Pid.t -> trusted:Pid.Set.t -> Pid.Set.t -> bool;
+  pass_query : self:Pid.t -> joiner:Pid.t -> bool;
+  plugin : ('app, 'msg) plugin;
+}
+
+let null_plugin =
+  {
+    p_init = (fun _ -> ());
+    p_tick = (fun _ app -> (app, []));
+    p_recv = (fun _ ~from:_ _ app -> (app, []));
+    p_merge = (fun ~self:_ app _ -> app);
+  }
+
+let unit_hooks =
+  {
+    eval_conf = (fun ~self:_ ~trusted:_ _ -> false);
+    pass_query = (fun ~self:_ ~joiner:_ -> true);
+    plugin = null_plugin;
+  }
+
+let default_eval_conf ?(fraction = 0.25) () ~self:_ ~trusted members =
+  let total = Pid.Set.cardinal members in
+  if total = 0 then false
+  else
+    let missing = total - Pid.Set.cardinal (Pid.Set.inter members trusted) in
+    float_of_int missing >= fraction *. float_of_int total
+
+type ('app, 'msg) t = {
+  eng : ('app node_state, ('app, 'msg) message) Engine.t;
+  hooks : ('app, 'msg) hooks;
+  directory : Pid.Set.t ref;
+}
+
+(* A joiner uses a link only once its cleaning handshake completed
+   (Section 2: every established data link is initialized and cleaned
+   straight after it is established). Gating is per link: a handshake with
+   a processor that crashed mid-join simply never completes and that link
+   is never used. Established members' links predate the run and need no
+   handshake. *)
+let link_clean n peer =
+  (not n.joiner)
+  ||
+  match Pid.Map.find_opt peer n.snap with
+  | Some s -> Datalink.Snap_link.phase s = Datalink.Snap_link.Clean_done
+  | None -> false
+
+let send_counted ctx kind dst m =
+  Metrics.incr (Engine.metrics_of_ctx ctx) ("sent." ^ kind);
+  Engine.send ctx dst m
+
+(* protocol traffic is held back until the link's handshake completed *)
+let send_gated ctx n kind dst m =
+  if link_clean n dst then send_counted ctx kind dst m
+
+let view_of ctx n =
+  {
+    v_self = Engine.self ctx;
+    v_trusted = Detector.Theta_fd.trusted n.fd;
+    v_recsa = n.sa;
+    v_emit = Engine.emit ctx;
+  }
+
+(* a deterministic handshake instance identifier for the pair *)
+let snap_nonce ~self ~peer = (self * 1_000_003) + peer
+
+let snap_instance ~capacity n ~self ~peer =
+  match Pid.Map.find_opt peer n.snap with
+  | Some s -> s
+  | None ->
+    let s =
+      Datalink.Snap_link.create ~capacity ~self ~peer
+        ~nonce:(snap_nonce ~self ~peer)
+    in
+    n.snap <- Pid.Map.add peer s n.snap;
+    s
+
+let behavior ~capacity ~n_bound ~theta ~quorum ~hooks ~members_set ~directory =
+  let init p =
+    let participant = Pid.Set.mem p members_set in
+    let joiner = not participant in
+    let n =
+      {
+        fd = Detector.Theta_fd.create ~n_bound ~theta ~self:p ();
+        sa =
+          Recsa.create ~self:p ~participant
+            ?initial_config:(if participant then Some members_set else None)
+            ();
+        ma = Recma.create ~self:p;
+        join = Join.create ~self:p;
+        app = hooks.plugin.p_init p;
+        seeds = Pid.Set.remove p !directory;
+        snap = Pid.Map.empty;
+        joiner;
+      }
+    in
+    if joiner then
+      Pid.Set.iter (fun peer -> ignore (snap_instance ~capacity n ~self:p ~peer)) n.seeds;
+    n
+  in
+  let on_timer ctx n =
+    let self = Engine.self ctx in
+    (* flood pending cleaning handshakes *)
+    Pid.Map.iter
+      (fun peer s ->
+        match Datalink.Snap_link.on_tick s with
+        | Some m ->
+          (* keep the channel's pipe full: the handshake needs more than
+             the round-trip capacity of acknowledgments *)
+          for _ = 1 to max 1 (capacity / 2) do
+            send_counted ctx "snap" peer (Snap m)
+          done
+        | None -> ())
+      n.snap;
+    let trusted = Detector.Theta_fd.trusted n.fd in
+    let emit_all = List.iter (fun (tag, detail) -> Engine.emit ctx tag detail) in
+    (* recSA: one do-forever iteration, then the line-29 broadcast *)
+    emit_all (Recsa.tick n.sa ~trusted);
+    let sa_msgs = Recsa.broadcast n.sa ~trusted in
+    List.iter (fun (dst, m) -> send_gated ctx n "sa" dst (Sa m)) sa_msgs;
+    (* recMA *)
+    let ma_msgs, ma_events =
+      Recma.tick n.ma ~quorum ~trusted ~recsa:n.sa
+        ~eval_conf:(fun members -> hooks.eval_conf ~self ~trusted members)
+        ()
+    in
+    emit_all ma_events;
+    List.iter (fun (dst, m) -> send_gated ctx n "ma" dst (Ma m)) ma_msgs;
+    (* joining mechanism (joiner side) *)
+    let join_msgs, join_events =
+      Join.tick n.join ~quorum ~trusted ~recsa:n.sa
+        ~reset_vars:(fun () -> n.app <- hooks.plugin.p_init self)
+        ~init_vars:(fun states ->
+          n.app <- hooks.plugin.p_merge ~self n.app states)
+        ()
+    in
+    emit_all join_events;
+    List.iter (fun (dst, m) -> send_gated ctx n "join" dst (Join m)) join_msgs;
+    (* application plugin *)
+    let app', app_msgs = hooks.plugin.p_tick (view_of ctx n) n.app in
+    n.app <- app';
+    List.iter (fun (dst, m) -> send_gated ctx n "app" dst (App m)) app_msgs;
+    (* heartbeats (the data-link token) to every known processor not already
+       covered by a recSA broadcast *)
+    let covered = List.fold_left (fun acc (dst, _) -> Pid.Set.add dst acc) Pid.Set.empty sa_msgs in
+    let targets =
+      Pid.Set.union n.seeds (Detector.Theta_fd.known n.fd)
+      |> Pid.Set.remove self
+    in
+    Pid.Set.iter
+      (fun dst ->
+        if not (Pid.Set.mem dst covered) then send_gated ctx n "heartbeat" dst Heartbeat)
+      targets;
+    n
+  in
+  let on_message ctx from msg n =
+    (match msg with
+    | Snap m ->
+      let s = snap_instance ~capacity n ~self:(Engine.self ctx) ~peer:from in
+      let reply, completed = Datalink.Snap_link.on_msg s m in
+      (match reply with
+      | Some r -> send_counted ctx "snap" from (Snap r)
+      | None -> ());
+      (match completed with
+      | `Completed -> Engine.emit ctx "snap.clean" (Pid.to_string from)
+      | `Pending -> ())
+    | Heartbeat | Sa _ | Ma _ | Join _ | App _ ->
+      if link_clean n from then Detector.Theta_fd.heartbeat n.fd from);
+    (match msg with
+    | _ when not (link_clean n from) -> () (* link not yet cleaned *)
+    | Snap _ -> ()
+    | Heartbeat -> ()
+    | Sa m -> Recsa.receive n.sa ~from m
+    | Ma m -> Recma.receive n.ma ~from ~participant:(Recsa.is_participant n.sa) m
+    | Join (Join.Join_request) ->
+      let trusted = Detector.Theta_fd.trusted n.fd in
+      (match
+         Join.on_request n.join ~self_app:n.app ~from ~trusted ~recsa:n.sa
+           ~pass_query:(fun joiner ->
+             hooks.pass_query ~self:(Engine.self ctx) ~joiner)
+       with
+      | Some reply -> send_gated ctx n "join" from (Join reply)
+      | None -> ())
+    | Join (Join.Join_reply { pass; app }) ->
+      Join.on_reply n.join ~from ~participant:(Recsa.is_participant n.sa) ~pass ~app
+    | App m ->
+      let app', out = hooks.plugin.p_recv (view_of ctx n) ~from m n.app in
+      n.app <- app';
+      List.iter (fun (dst, m) -> send_gated ctx n "app" dst (App m)) out);
+    n
+  in
+  { Engine.init; on_timer; on_message }
+
+let create ?(seed = 42) ?(capacity = 8) ?(loss = 0.02) ?(theta = 4)
+    ?(quorum = (module Quorum.Majority : Quorum.SYSTEM)) ~n_bound ~hooks ~members () =
+  let members_set = Pid.set_of_list members in
+  let directory = ref members_set in
+  let behavior =
+    behavior ~capacity ~n_bound ~theta ~quorum ~hooks ~members_set ~directory
+  in
+  let eng = Engine.create ~seed ~capacity ~loss ~behavior ~pids:members () in
+  { eng; hooks; directory }
+
+let engine t = t.eng
+
+let add_joiner t p =
+  t.directory := Pid.Set.add p !(t.directory);
+  Engine.add_node t.eng p
+
+let node t p = Engine.state t.eng p
+
+let live_nodes t =
+  List.map (fun p -> (p, Engine.state t.eng p)) (Engine.live_pids t.eng)
+
+let trusted_of t p = Detector.Theta_fd.trusted (node t p).fd
+let config_views t = List.map (fun (p, n) -> (p, Recsa.config n.sa)) (live_nodes t)
+
+let uniform_config t =
+  let participant_configs =
+    List.filter_map
+      (fun (_, n) ->
+        match Recsa.config n.sa with
+        | Config_value.Not_participant -> None
+        | v -> Some v)
+      (live_nodes t)
+  in
+  match participant_configs with
+  | [] -> None
+  | first :: rest ->
+    if List.for_all (Config_value.equal first) rest then Config_value.to_set first
+    else None
+
+let quiescent t =
+  match uniform_config t with
+  | None -> false
+  | Some _ ->
+    List.for_all
+      (fun (_, n) ->
+        (not (Recsa.is_participant n.sa))
+        || Recsa.no_reco n.sa ~trusted:(Detector.Theta_fd.trusted n.fd))
+      (live_nodes t)
+
+let sum_over t f = List.fold_left (fun acc (_, n) -> acc + f n) 0 (live_nodes t)
+let total_resets t = sum_over t (fun n -> Recsa.reset_count n.sa)
+let total_installs t = sum_over t (fun n -> Recsa.install_count n.sa)
+let total_triggers t = sum_over t (fun n -> Recma.trigger_count n.ma)
+let run_rounds t n = Engine.run_rounds t.eng n
+let run_until t ~max_steps pred = Engine.run_until t.eng ~max_steps (fun _ -> pred t)
+
+let run_until_quiescent t ~max_rounds =
+  let start = Engine.rounds t.eng in
+  let rec go () =
+    if quiescent t then Some (Engine.rounds t.eng - start)
+    else if Engine.rounds t.eng - start >= max_rounds then None
+    else begin
+      Engine.run_rounds t.eng 1;
+      go ()
+    end
+  in
+  go ()
+
+let crash t p = Engine.crash t.eng p
+let estab t p set = Recsa.estab (node t p).sa ~trusted:(trusted_of t p) set
+
+(* --- transient-fault injection --- *)
+
+let random_pid_set rng pool =
+  match Rng.subset rng pool with [] -> Pid.set_of_list [ List.hd pool ] | l -> Pid.set_of_list l
+
+let random_config rng pool =
+  match Rng.int rng 4 with
+  | 0 -> Config_value.Reset
+  | 1 -> Config_value.Set (random_pid_set rng pool)
+  | 2 -> Config_value.Set Pid.Set.empty
+  | _ -> Config_value.Set (random_pid_set rng pool)
+
+let random_notification rng pool =
+  match Rng.int rng 4 with
+  | 0 -> Notification.default
+  | 1 -> { Notification.phase = Notification.P0; set = Some (random_pid_set rng pool) }
+  | 2 -> Notification.make Notification.P1 (random_pid_set rng pool)
+  | _ -> Notification.make Notification.P2 (random_pid_set rng pool)
+
+let corrupt_node t p ~rng =
+  let pool = Engine.pids t.eng in
+  let n = node t p in
+  Recsa.corrupt n.sa ~config:(random_config rng pool)
+    ~prp:(random_notification rng pool) ~all:(Rng.bool rng)
+    ~allseen:(random_pid_set rng pool) ();
+  Recsa.clear_peers n.sa;
+  let random_flags () = List.map (fun q -> (q, Rng.bool rng)) pool in
+  Recma.corrupt n.ma ~no_maj:(random_flags ()) ~need_reconf:(random_flags ())
+
+let corrupt_everything t ~rng =
+  let live = Engine.live_pids t.eng in
+  List.iter (fun p -> corrupt_node t p ~rng) live;
+  let pool = Engine.pids t.eng in
+  List.iter
+    (fun src ->
+      List.iter
+        (fun dst ->
+          if not (Pid.equal src dst) then begin
+            let stale_message () =
+              let trusted = random_pid_set rng pool in
+              Sa
+                {
+                  Recsa.m_fd = trusted;
+                  m_part = random_pid_set rng pool;
+                  m_config = random_config rng pool;
+                  m_prp = random_notification rng pool;
+                  m_all = Rng.bool rng;
+                  m_echo = None;
+                }
+            in
+            let k = Rng.int rng 4 in
+            let pkts = List.init k (fun _ -> stale_message ()) in
+            Engine.corrupt_channel t.eng ~src ~dst pkts
+          end)
+        live)
+    live

@@ -1,0 +1,148 @@
+(** The full reconfiguration scheme as a single "black box" (Figure 1):
+    (N,Θ)-failure detector + recSA + recMA + joining mechanism, wired into a
+    {!Sim.Engine} behavior, with a pluggable application on top.
+
+    ['app] is the application state (replicated to joiners by the joining
+    mechanism); ['msg] is the application's own message type. The services
+    of Section 4 (labeling, counters, virtual synchrony) are plugins. *)
+
+open Sim
+
+type ('app, 'msg) message =
+  | Heartbeat  (** the data-link token; keeps failure detectors fed *)
+  | Snap of Datalink.Snap_link.msg
+      (** snap-stabilizing link cleaning on new connections (Section 2) *)
+  | Sa of Recsa.message
+  | Ma of Recma.message
+  | Join of 'app Join.message
+  | App of 'msg
+
+type 'app node_state = {
+  fd : Detector.Theta_fd.t;
+  sa : Recsa.t;
+  ma : Recma.t;
+  join : 'app Join.t;
+  mutable app : 'app;
+  mutable seeds : Pid.Set.t;  (** initially-known processors *)
+  mutable snap : Datalink.Snap_link.t Pid.Map.t;
+      (** per-peer cleaning handshakes; a joiner participates in the
+          protocols over a link only once its handshake completed *)
+  joiner : bool;  (** joined after system start (runs the handshake) *)
+}
+
+(** Read-only view of the scheme handed to the application plugin — the
+    [getConfig()] / [noReco()] interfaces of Figure 1. *)
+type 'app scheme_view = {
+  v_self : Pid.t;
+  v_trusted : Pid.Set.t;
+  v_recsa : Recsa.t;
+  v_emit : string -> string -> unit;  (** trace emission *)
+}
+
+(** Application plugin: ticked after the scheme layers on every timer step;
+    receives every [App] message. Both return messages to send. *)
+type ('app, 'msg) plugin = {
+  p_init : Pid.t -> 'app;
+  p_tick : 'app scheme_view -> 'app -> 'app * (Pid.t * 'msg) list;
+  p_recv : 'app scheme_view -> from:Pid.t -> 'msg -> 'app -> 'app * (Pid.t * 'msg) list;
+  p_merge : self:Pid.t -> 'app -> 'app Pid.Map.t -> 'app;
+      (** [initVars]: combine members' states into a fresh participant's
+          state when joining completes *)
+}
+
+type ('app, 'msg) hooks = {
+  eval_conf : self:Pid.t -> trusted:Pid.Set.t -> Pid.Set.t -> bool;
+      (** prediction function: should the given configuration be replaced? *)
+  pass_query : self:Pid.t -> joiner:Pid.t -> bool;
+      (** may this joiner enter the computation? *)
+  plugin : ('app, 'msg) plugin;
+}
+
+(** A do-nothing plugin for running the bare reconfiguration scheme. *)
+val null_plugin : (unit, unit) plugin
+
+(** Never asks for reconfiguration; always passes joiners; null plugin. *)
+val unit_hooks : (unit, unit) hooks
+
+(** [default_eval_conf ~fraction ()] — the paper's example predictor:
+    replace when at least [fraction] (default 1/4) of the members are
+    untrusted. *)
+val default_eval_conf :
+  ?fraction:float -> unit -> self:Pid.t -> trusted:Pid.Set.t -> Pid.Set.t -> bool
+
+type ('app, 'msg) t
+(** A simulated system running the scheme on every node. *)
+
+val create :
+  ?seed:int ->
+  ?capacity:int ->
+  ?loss:float ->
+  ?theta:int ->
+  ?quorum:(module Quorum.SYSTEM) ->
+  n_bound:int ->
+  hooks:('app, 'msg) hooks ->
+  members:Pid.t list ->
+  unit ->
+  ('app, 'msg) t
+(** [create ~n_bound ~hooks ~members ()] — the initial participants
+    [members] start with the agreed configuration [members] (a steady
+    config state); other processors enter later via [add_joiner].
+    [quorum] (default {!Quorum.Majority}) generalizes recMA's collapse /
+    prediction tests and the joining admission test to any intersecting
+    quorum system — the generalization the paper claims in Related Work. *)
+
+val engine : ('app, 'msg) t -> ('app node_state, ('app, 'msg) message) Engine.t
+
+(** [add_joiner t p] introduces a new processor over snap-stabilized (clean)
+    links; it knows the processors present at its join time. *)
+val add_joiner : ('app, 'msg) t -> Pid.t -> unit
+
+(** {2 Observation} *)
+
+val node : ('app, 'msg) t -> Pid.t -> 'app node_state
+val live_nodes : ('app, 'msg) t -> (Pid.t * 'app node_state) list
+val trusted_of : ('app, 'msg) t -> Pid.t -> Pid.Set.t
+
+(** [config_views t] — every live node's configuration value. *)
+val config_views : ('app, 'msg) t -> (Pid.t * Config_value.t) list
+
+(** [uniform_config t] is [Some s] iff every live {e participant} holds
+    exactly [Set s] — the paper's conflict-free condition. [None] while any
+    participant disagrees, is resetting, or no participant exists. *)
+val uniform_config : ('app, 'msg) t -> Pid.Set.t option
+
+(** [quiescent t] — uniform configuration and [no_reco] holds at every live
+    participant (steady config state). *)
+val quiescent : ('app, 'msg) t -> bool
+
+(** Sums over all nodes: recSA brute-force resets, delicate installs,
+    recMA accepted triggerings. *)
+val total_resets : ('app, 'msg) t -> int
+
+val total_installs : ('app, 'msg) t -> int
+val total_triggers : ('app, 'msg) t -> int
+
+(** {2 Driving} *)
+
+val run_rounds : ('app, 'msg) t -> int -> unit
+val run_until : ('app, 'msg) t -> max_steps:int -> (('app, 'msg) t -> bool) -> bool
+
+(** [run_until_quiescent t ~max_rounds] runs until {!quiescent}; returns
+    the number of rounds consumed, or [None] on timeout. *)
+val run_until_quiescent : ('app, 'msg) t -> max_rounds:int -> int option
+
+val crash : ('app, 'msg) t -> Pid.t -> unit
+
+(** [estab t p set] — request a delicate replacement at node [p] (test
+    hook; normally recMA decides). *)
+val estab : ('app, 'msg) t -> Pid.t -> Pid.Set.t -> bool
+
+(** {2 Transient faults} *)
+
+(** [corrupt_node t p ~rng] writes pseudo-random garbage into [p]'s recSA
+    and recMA state. *)
+val corrupt_node : ('app, 'msg) t -> Pid.t -> rng:Rng.t -> unit
+
+(** [corrupt_everything t ~rng] corrupts every live node and fills every
+    channel between live nodes with stale protocol packets. *)
+val corrupt_everything : ('app, 'msg) t -> rng:Rng.t -> unit

@@ -1,0 +1,1 @@
+lib/register/register_service.ml: Config_value Counter Counter_service Counters List Map Pid Quorum Reconfig Recsa Sim Stack String

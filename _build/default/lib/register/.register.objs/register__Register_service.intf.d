@@ -1,0 +1,1 @@
+lib/register/register_service.mli: Counter Counters Reconfig

@@ -1,0 +1,74 @@
+(** Quorum-based MWMR register emulation — the paper's "typical two-phase
+    read and write protocol" over the reconfiguration service (Sections 1
+    and 4.3), with counters from the increment scheme as bounded tags
+    ("tag numbers for distributed shared memory emulation", Section 4.1).
+
+    This is the ABD-style alternative to {!Vs.Shared_memory} (which routes
+    operations through the replicated state machine): here configuration
+    members store per-register ⟨tag, value⟩ copies, and clients run
+    two-phase operations against majorities:
+
+    - {b write}: obtain a fresh tag from the counter-increment scheme
+      (totally ordered, bounded), then update a majority.
+    - {b read}: query a majority for the maximal ⟨tag, value⟩, write it
+      back to a majority (so later reads cannot see older values), then
+      return it.
+
+    Operations issued during a reconfiguration are answered with Abort and
+    retried. Values survive delicate reconfigurations because every
+    {e participant} keeps a register copy refreshed by update messages (so
+    a participant promoted into the new configuration already carries the
+    state), and joiners adopt the freshest copies through the joining
+    mechanism's state transfer ([initVars]). *)
+
+open Counters
+
+type reg = string
+type value = int
+
+type tagged = {
+  tag : Counter.t;
+  tv : value;
+}
+
+type state
+type msg
+
+(** Client-visible results of completed operations, oldest first. *)
+type outcome =
+  | Wrote of { rid : int; reg : reg }
+  | Read of { rid : int; reg : reg; result : value option }
+
+val plugin :
+  ?in_transit_bound:int ->
+  ?exhaust_bound:int ->
+  unit ->
+  (state, msg) Reconfig.Stack.plugin
+
+val hooks :
+  ?in_transit_bound:int ->
+  ?exhaust_bound:int ->
+  unit ->
+  (state, msg) Reconfig.Stack.hooks
+
+(** [write st ~rid reg v] — begin a write; [rid] fresh per node. *)
+val write : state -> rid:int -> reg -> value -> unit
+
+(** [read st ~rid reg] — begin a read. *)
+val read : state -> rid:int -> reg -> unit
+
+(** Completed operations at this node, oldest first. *)
+val outcomes : state -> outcome list
+
+(** [find_read st ~rid] — result of read [rid] once completed:
+    [Some None] = register unwritten, [None] = still in flight. *)
+val find_read : state -> rid:int -> value option option
+
+(** [write_done st ~rid] — has write [rid] completed? *)
+val write_done : state -> rid:int -> bool
+
+(** [stored st reg] — this member's local copy (tests/monitoring). *)
+val stored : state -> reg -> tagged option
+
+(** Aborted attempts (operations retried after a reconfiguration). *)
+val aborts : state -> int

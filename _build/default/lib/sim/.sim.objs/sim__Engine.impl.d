@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Channel Float Format Hashtbl Heap Int List Metrics Pid Printf Rng Trace

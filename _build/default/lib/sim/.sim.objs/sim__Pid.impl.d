@@ -1,0 +1,1 @@
+lib/sim/pid.ml: Format Int Map Set

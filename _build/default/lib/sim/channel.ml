@@ -1,0 +1,90 @@
+type stats = {
+  mutable sent : int;
+  mutable dropped : int;
+  mutable delivered : int;
+  mutable duplicated : int;
+}
+
+type 'a t = {
+  cap : int;
+  mutable queue : 'a list; (* head = oldest *)
+  mutable len : int;
+  st : stats;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Channel.create: capacity must be positive";
+  { cap = capacity; queue = []; len = 0; st = { sent = 0; dropped = 0; delivered = 0; duplicated = 0 } }
+
+let capacity t = t.cap
+let length t = t.len
+let is_empty t = t.len = 0
+let stats t = t.st
+
+let send t rng pkt =
+  t.st.sent <- t.st.sent + 1;
+  if t.len < t.cap then begin
+    t.queue <- t.queue @ [ pkt ];
+    t.len <- t.len + 1
+  end
+  else begin
+    t.st.dropped <- t.st.dropped + 1;
+    if Rng.bool rng then begin
+      (* replace a random queued packet by the new one *)
+      let victim = Rng.int rng t.len in
+      t.queue <- List.mapi (fun i p -> if i = victim then pkt else p) t.queue
+    end
+    (* else: the new packet itself is omitted *)
+  end
+
+let remove_nth t n =
+  let rec go i acc = function
+    | [] -> assert false
+    | x :: rest ->
+      if i = n then (x, List.rev_append acc rest) else go (i + 1) (x :: acc) rest
+  in
+  let x, rest = go 0 [] t.queue in
+  t.queue <- rest;
+  t.len <- t.len - 1;
+  x
+
+let take t rng ~reorder =
+  if t.len = 0 then None
+  else begin
+    let idx = if reorder then Rng.int rng t.len else 0 in
+    let pkt = remove_nth t idx in
+    t.st.delivered <- t.st.delivered + 1;
+    Some pkt
+  end
+
+let duplicate_head t =
+  match t.queue with
+  | [] -> ()
+  | pkt :: _ ->
+    if t.len < t.cap then begin
+      t.queue <- t.queue @ [ pkt ];
+      t.len <- t.len + 1;
+      t.st.duplicated <- t.st.duplicated + 1
+    end
+
+let drop_one t rng =
+  if t.len > 0 then begin
+    let idx = Rng.int rng t.len in
+    ignore (remove_nth t idx);
+    t.st.dropped <- t.st.dropped + 1
+  end
+
+let clear t =
+  t.queue <- [];
+  t.len <- 0
+
+let corrupt t pkts =
+  let rec truncate n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: truncate (n - 1) rest
+  in
+  t.queue <- truncate t.cap pkts;
+  t.len <- List.length t.queue
+
+let contents t = t.queue

@@ -1,0 +1,271 @@
+type 'm ctx = {
+  ctx_self : Pid.t;
+  ctx_time : float;
+  ctx_rng : Rng.t;
+  mutable ctx_outbox : (Pid.t * 'm) list; (* reversed *)
+  ctx_trace : Trace.t;
+  ctx_metrics : Metrics.t;
+}
+
+let self c = c.ctx_self
+let now c = c.ctx_time
+let rng_of_ctx c = c.ctx_rng
+let send c dst msg = c.ctx_outbox <- (dst, msg) :: c.ctx_outbox
+
+let emit c tag detail =
+  Trace.record c.ctx_trace ~time:c.ctx_time ~node:c.ctx_self ~tag detail
+
+let metrics_of_ctx c = c.ctx_metrics
+
+type ('s, 'm) behavior = {
+  init : Pid.t -> 's;
+  on_timer : 'm ctx -> 's -> 's;
+  on_message : 'm ctx -> Pid.t -> 'm -> 's -> 's;
+}
+
+type event_kind =
+  | Timer of Pid.t
+  | Deliver of Pid.t * Pid.t (* src, dst *)
+
+type event = { at : float; seq : int; kind : event_kind }
+
+type ('s, 'm) node = {
+  mutable n_state : 's;
+  mutable n_crashed : bool;
+  mutable n_ticks : int;
+}
+
+type ('s, 'm) t = {
+  behavior : ('s, 'm) behavior;
+  e_rng : Rng.t;
+  capacity : int;
+  loss : float;
+  dup : float;
+  reorder : bool;
+  min_delay : float;
+  max_delay : float;
+  timer_min : float;
+  timer_max : float;
+  nodes : (Pid.t, ('s, 'm) node) Hashtbl.t;
+  channels : (Pid.t * Pid.t, 'm Channel.t) Hashtbl.t;
+  queue : event Heap.t;
+  blocked : (Pid.t * Pid.t, unit) Hashtbl.t;
+  mutable e_time : float;
+  mutable e_seq : int;
+  mutable e_steps : int;
+  e_trace : Trace.t;
+  e_metrics : Metrics.t;
+}
+
+let compare_event a b =
+  let c = Float.compare a.at b.at in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let push_event t ~at kind =
+  t.e_seq <- t.e_seq + 1;
+  Heap.push t.queue { at; seq = t.e_seq; kind }
+
+let uniform rng lo hi = lo +. (Rng.float rng *. (hi -. lo))
+
+let schedule_timer t p =
+  push_event t ~at:(t.e_time +. uniform t.e_rng t.timer_min t.timer_max) (Timer p)
+
+let schedule_delivery t ~src ~dst =
+  push_event t ~at:(t.e_time +. uniform t.e_rng t.min_delay t.max_delay) (Deliver (src, dst))
+
+let channel t ~src ~dst =
+  match Hashtbl.find_opt t.channels (src, dst) with
+  | Some ch -> ch
+  | None ->
+    let ch = Channel.create ~capacity:t.capacity in
+    Hashtbl.add t.channels (src, dst) ch;
+    ch
+
+let node t p =
+  match Hashtbl.find_opt t.nodes p with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Engine: unknown node %d" p)
+
+let create ?(seed = 42) ?(capacity = 8) ?(loss = 0.02) ?(dup = 0.02) ?(reorder = true)
+    ?(min_delay = 0.5) ?(max_delay = 2.0) ?(timer_min = 0.8) ?(timer_max = 1.2) ~behavior
+    ~pids () =
+  let t =
+    {
+      behavior;
+      e_rng = Rng.create seed;
+      capacity;
+      loss;
+      dup;
+      reorder;
+      min_delay;
+      max_delay;
+      timer_min;
+      timer_max;
+      nodes = Hashtbl.create 64;
+      channels = Hashtbl.create 256;
+      queue = Heap.create compare_event;
+      blocked = Hashtbl.create 16;
+      e_time = 0.0;
+      e_seq = 0;
+      e_steps = 0;
+      e_trace = Trace.create ();
+      e_metrics = Metrics.create ();
+    }
+  in
+  List.iter
+    (fun p ->
+      if Hashtbl.mem t.nodes p then invalid_arg "Engine.create: duplicate pid";
+      Hashtbl.add t.nodes p { n_state = behavior.init p; n_crashed = false; n_ticks = 0 };
+      schedule_timer t p)
+    pids;
+  t
+
+let time t = t.e_time
+let rng t = t.e_rng
+let trace t = t.e_trace
+let metrics t = t.e_metrics
+
+let pids t =
+  Hashtbl.fold (fun p _ acc -> p :: acc) t.nodes [] |> List.sort Pid.compare
+
+let live_pids t =
+  Hashtbl.fold (fun p n acc -> if n.n_crashed then acc else p :: acc) t.nodes []
+  |> List.sort Pid.compare
+
+let is_live t p = match Hashtbl.find_opt t.nodes p with Some n -> not n.n_crashed | None -> false
+let state t p = (node t p).n_state
+
+let rounds t =
+  Hashtbl.fold
+    (fun _ n acc -> if n.n_crashed then acc else min acc n.n_ticks)
+    t.nodes max_int
+  |> fun r -> if r = max_int then 0 else r
+
+let steps t = t.e_steps
+let set_state t p s = (node t p).n_state <- s
+
+let map_states t f =
+  Hashtbl.iter (fun p n -> if not n.n_crashed then n.n_state <- f p n.n_state) t.nodes
+
+let corrupt_channel t ~src ~dst pkts = Channel.corrupt (channel t ~src ~dst) pkts
+let clear_channels t = Hashtbl.iter (fun _ ch -> Channel.clear ch) t.channels
+
+let crash t p =
+  let n = node t p in
+  n.n_crashed <- true;
+  Trace.record t.e_trace ~time:t.e_time ~node:p ~tag:"crash" ""
+
+let add_node t p =
+  if Hashtbl.mem t.nodes p then invalid_arg "Engine.add_node: pid exists";
+  Hashtbl.add t.nodes p
+    { n_state = t.behavior.init p; n_crashed = false; n_ticks = rounds t };
+  (* snap-stabilizing link establishment: links of a fresh connection are
+     cleaned of stale packets before use (Section 2) *)
+  Hashtbl.iter
+    (fun (src, dst) ch -> if Pid.equal src p || Pid.equal dst p then Channel.clear ch)
+    t.channels;
+  schedule_timer t p;
+  Trace.record t.e_trace ~time:t.e_time ~node:p ~tag:"join" ""
+
+let link_blocked t ~src ~dst = Hashtbl.mem t.blocked (src, dst)
+let block_link t ~src ~dst = Hashtbl.replace t.blocked (src, dst) ()
+let unblock_link t ~src ~dst = Hashtbl.remove t.blocked (src, dst)
+
+let partition t group =
+  let all = pids t in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun q ->
+          if Pid.Set.mem p group <> Pid.Set.mem q group then begin
+            block_link t ~src:p ~dst:q;
+            block_link t ~src:q ~dst:p
+          end)
+        all)
+    all;
+  Trace.record t.e_trace ~time:t.e_time ~tag:"partition"
+    (Format.asprintf "%a" Pid.pp_set group)
+
+let heal t =
+  Hashtbl.reset t.blocked;
+  Trace.record t.e_trace ~time:t.e_time ~tag:"heal" ""
+
+let flush_outbox t ctx =
+  List.iter
+    (fun (dst, msg) ->
+      if link_blocked t ~src:ctx.ctx_self ~dst then
+        (Channel.stats (channel t ~src:ctx.ctx_self ~dst)).Channel.dropped <-
+          (Channel.stats (channel t ~src:ctx.ctx_self ~dst)).Channel.dropped + 1
+      else begin
+      let ch = channel t ~src:ctx.ctx_self ~dst in
+      Channel.send ch t.e_rng msg;
+      (* duplication: occasionally schedule an extra delivery attempt *)
+      if Rng.chance t.e_rng t.dup then Channel.duplicate_head ch;
+      schedule_delivery t ~src:ctx.ctx_self ~dst
+      end)
+    (List.rev ctx.ctx_outbox);
+  ctx.ctx_outbox <- []
+
+let exec_step t kind =
+  match kind with
+  | Timer p -> (
+    match Hashtbl.find_opt t.nodes p with
+    | None -> ()
+    | Some n ->
+    if not n.n_crashed then begin
+      let ctx =
+        { ctx_self = p; ctx_time = t.e_time; ctx_rng = t.e_rng; ctx_outbox = [];
+          ctx_trace = t.e_trace; ctx_metrics = t.e_metrics }
+      in
+      n.n_state <- t.behavior.on_timer ctx n.n_state;
+      n.n_ticks <- n.n_ticks + 1;
+      flush_outbox t ctx;
+      schedule_timer t p
+    end)
+  | Deliver (src, dst) -> (
+    match Hashtbl.find_opt t.nodes dst with
+    | None -> ()
+    | Some n ->
+    if not n.n_crashed then begin
+      let ch = channel t ~src ~dst in
+      if link_blocked t ~src ~dst then Channel.drop_one ch t.e_rng
+      else if Rng.chance t.e_rng t.loss then Channel.drop_one ch t.e_rng
+      else
+        match Channel.take ch t.e_rng ~reorder:t.reorder with
+        | None -> ()
+        | Some msg ->
+          let ctx =
+            { ctx_self = dst; ctx_time = t.e_time; ctx_rng = t.e_rng; ctx_outbox = [];
+              ctx_trace = t.e_trace; ctx_metrics = t.e_metrics }
+          in
+          n.n_state <- t.behavior.on_message ctx src msg n.n_state;
+          flush_outbox t ctx
+    end)
+
+let step t =
+  if Heap.is_empty t.queue then false
+  else begin
+    let ev = Heap.pop t.queue in
+    t.e_time <- Float.max t.e_time ev.at;
+    t.e_steps <- t.e_steps + 1;
+    exec_step t ev.kind;
+    true
+  end
+
+let run t ~steps =
+  let rec go n = if n > 0 && step t then go (n - 1) in
+  go steps
+
+let run_rounds t n =
+  let target = rounds t + n in
+  let rec go () = if rounds t < target && step t then go () in
+  go ()
+
+let run_until t ~max_steps pred =
+  let rec go n =
+    if pred t then true
+    else if n <= 0 then false
+    else if step t then go (n - 1)
+    else false
+  in
+  go max_steps

@@ -1,0 +1,135 @@
+(** Discrete-event simulation engine — the paper's interleaving model.
+
+    An execution is an alternating sequence of system states and atomic
+    steps. Each step is either a timer step (one iteration of a node's
+    [do forever] loop) or the receipt of one packet. The engine schedules
+    steps in virtual time under a seeded pseudo-random schedule that
+    guarantees fair communication: every live node takes timer steps
+    infinitely often, and each send schedules a delivery attempt whose loss
+    probability is strictly below one, so a packet sent infinitely often is
+    received infinitely often.
+
+    Transient faults are injected by rewriting node states
+    ([set_state]/[corrupt_states]) and channel contents
+    ([corrupt_channel]); crashes by [crash]; joins by [add_node]. *)
+
+type 'm ctx
+(** Per-step context handed to behaviors. *)
+
+val self : 'm ctx -> Pid.t
+val now : 'm ctx -> float
+val rng_of_ctx : 'm ctx -> Rng.t
+
+(** [send ctx dst msg] enqueues [msg] on the channel to [dst]; the paper's
+    step structure (local computation then communication) is preserved by
+    buffering sends until the step ends. *)
+val send : 'm ctx -> Pid.t -> 'm -> unit
+
+(** [emit ctx tag detail] records a trace event attributed to the stepping
+    node. *)
+val emit : 'm ctx -> string -> string -> unit
+
+(** [metrics_of_ctx ctx] — the engine's metrics, for protocol-level
+    accounting (e.g. messages sent per layer). *)
+val metrics_of_ctx : 'm ctx -> Metrics.t
+
+type ('s, 'm) behavior = {
+  init : Pid.t -> 's;
+  on_timer : 'm ctx -> 's -> 's;  (** one [do forever] iteration *)
+  on_message : 'm ctx -> Pid.t -> 'm -> 's -> 's;  (** receipt of one packet *)
+}
+
+type ('s, 'm) t
+
+val create :
+  ?seed:int ->
+  ?capacity:int ->
+  ?loss:float ->
+  ?dup:float ->
+  ?reorder:bool ->
+  ?min_delay:float ->
+  ?max_delay:float ->
+  ?timer_min:float ->
+  ?timer_max:float ->
+  behavior:('s, 'm) behavior ->
+  pids:Pid.t list ->
+  unit ->
+  ('s, 'm) t
+(** Defaults: [seed 42], [capacity 8] (the paper's [cap]), [loss 0.02],
+    [dup 0.02], [reorder true], message delay uniform in
+    [\[min_delay, max_delay\] = \[0.5, 2.0\]], timer period uniform in
+    [\[timer_min, timer_max\] = \[0.8, 1.2\]]. *)
+
+(** {2 Observation} *)
+
+val time : ('s, 'm) t -> float
+val rng : ('s, 'm) t -> Rng.t
+val trace : ('s, 'm) t -> Trace.t
+val metrics : ('s, 'm) t -> Metrics.t
+val pids : ('s, 'm) t -> Pid.t list
+val live_pids : ('s, 'm) t -> Pid.t list
+val is_live : ('s, 'm) t -> Pid.t -> bool
+val state : ('s, 'm) t -> Pid.t -> 's
+val channel : ('s, 'm) t -> src:Pid.t -> dst:Pid.t -> 'm Channel.t
+
+(** [rounds t] counts asynchronous rounds: the minimum number of timer steps
+    taken by any currently-live node. *)
+val rounds : ('s, 'm) t -> int
+
+(** [steps t] is the total number of atomic steps executed so far. *)
+val steps : ('s, 'm) t -> int
+
+(** {2 Fault injection and dynamics} *)
+
+val set_state : ('s, 'm) t -> Pid.t -> 's -> unit
+val map_states : ('s, 'm) t -> (Pid.t -> 's -> 's) -> unit
+val corrupt_channel : ('s, 'm) t -> src:Pid.t -> dst:Pid.t -> 'm list -> unit
+val clear_channels : ('s, 'm) t -> unit
+
+(** [crash t p] stops [p] permanently (fail-stop; the paper models rejoins
+    as transient faults, never as explicit rejoining). *)
+val crash : ('s, 'm) t -> Pid.t -> unit
+
+(** {2 Partitions}
+
+    A blocked directed link silently drops every packet sent over it —
+    a temporary violation of the fully-connected assumption, which the
+    scheme must survive once healed. *)
+
+(** [block_link t ~src ~dst] cuts the directed link. *)
+val block_link : ('s, 'm) t -> src:Pid.t -> dst:Pid.t -> unit
+
+(** [unblock_link t ~src ~dst] restores it. *)
+val unblock_link : ('s, 'm) t -> src:Pid.t -> dst:Pid.t -> unit
+
+(** [partition t group] cuts every link between [group] and the rest of
+    the system, in both directions. *)
+val partition : ('s, 'm) t -> Pid.Set.t -> unit
+
+(** [heal t] removes every block. *)
+val heal : ('s, 'm) t -> unit
+
+(** [link_blocked t ~src ~dst] — is the directed link currently cut? *)
+val link_blocked : ('s, 'm) t -> src:Pid.t -> dst:Pid.t -> bool
+
+(** [add_node t p] adds a fresh node with state [behavior.init p]; its
+    links are created clean (snap-stabilized). Raises [Invalid_argument] if
+    [p] already exists. *)
+val add_node : ('s, 'm) t -> Pid.t -> unit
+
+(** {2 Running} *)
+
+(** [step t] executes one atomic step. Returns [false] when no event is
+    pending (only possible if all nodes crashed). *)
+val step : ('s, 'm) t -> bool
+
+(** [run t ~steps] executes up to [steps] atomic steps. *)
+val run : ('s, 'm) t -> steps:int -> unit
+
+(** [run_rounds t n] runs until [rounds t] has advanced by [n]. *)
+val run_rounds : ('s, 'm) t -> int -> unit
+
+(** [run_until t ~max_steps pred] steps until [pred t] holds, checking after
+    every step. Returns [true] iff the predicate held before the budget was
+    exhausted. *)
+val run_until : ('s, 'm) t -> max_steps:int -> (('s, 'm) t -> bool) -> bool

@@ -1,0 +1,23 @@
+(** Minimal binary min-heap used as the simulator's event queue. *)
+
+type 'a t
+
+(** [create cmp] is an empty heap ordered by [cmp]. *)
+val create : ('a -> 'a -> int) -> 'a t
+
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+val push : 'a t -> 'a -> unit
+
+(** [pop t] removes and returns the minimum element.
+    @raise Not_found if the heap is empty. *)
+val pop : 'a t -> 'a
+
+(** [peek t] is the minimum element without removing it.
+    @raise Not_found if the heap is empty. *)
+val peek : 'a t -> 'a
+
+val clear : 'a t -> unit
+
+(** [to_list t] is the heap contents in no particular order. *)
+val to_list : 'a t -> 'a list

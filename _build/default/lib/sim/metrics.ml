@@ -1,0 +1,68 @@
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  series : (string, float list ref) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 32; series = Hashtbl.create 32 }
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add t.counters name r;
+    r
+
+let incr t name = Stdlib.incr (counter t name)
+let add t name n = counter t name := !(counter t name) + n
+let get t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let series t name =
+  match Hashtbl.find_opt t.series name with
+  | Some r -> r
+  | None ->
+    let r = ref [] in
+    Hashtbl.add t.series name r;
+    r
+
+let observe t name v =
+  let r = series t name in
+  r := v :: !r
+
+let samples t name =
+  match Hashtbl.find_opt t.series name with Some r -> List.rev !r | None -> []
+
+let sample_count t name = List.length (samples t name)
+
+let fold_samples t name f =
+  match samples t name with
+  | [] -> None
+  | x :: rest -> Some (List.fold_left f x rest, 1 + List.length rest)
+
+let mean t name =
+  match samples t name with
+  | [] -> None
+  | l ->
+    let sum = List.fold_left ( +. ) 0.0 l in
+    Some (sum /. float_of_int (List.length l))
+
+let min_sample t name = Option.map fst (fold_samples t name Float.min)
+let max_sample t name = Option.map fst (fold_samples t name Float.max)
+
+let percentile t name p =
+  match samples t name with
+  | [] -> None
+  | l ->
+    let sorted = List.sort Float.compare l in
+    let n = List.length sorted in
+    let rank = int_of_float (ceil (p *. float_of_int n)) in
+    let idx = max 0 (min (n - 1) (rank - 1)) in
+    Some (List.nth sorted idx)
+
+let clear t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.series
+
+let counter_rows t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

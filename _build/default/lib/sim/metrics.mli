@@ -1,0 +1,30 @@
+(** Named counters and sample series gathered during a simulation run. *)
+
+type t
+
+val create : unit -> t
+
+(** Integer counters. *)
+
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+
+(** [get t name] is the counter value, 0 if never touched. *)
+val get : t -> string -> int
+
+(** Sample series (latencies, round counts, ...). *)
+
+val observe : t -> string -> float -> unit
+val samples : t -> string -> float list
+val sample_count : t -> string -> int
+val mean : t -> string -> float option
+val min_sample : t -> string -> float option
+val max_sample : t -> string -> float option
+
+(** [percentile t name p] with [p] in [\[0,1\]]; nearest-rank. *)
+val percentile : t -> string -> float -> float option
+
+val clear : t -> unit
+
+(** All counters as sorted [(name, value)] rows. *)
+val counter_rows : t -> (string * int) list

@@ -1,0 +1,31 @@
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+let pp = Format.pp_print_int
+let to_string = string_of_int
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)
+
+let set_of_list l = Set.of_list l
+
+let pp_set fmt s =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+       Format.pp_print_int)
+    (Set.elements s)
+
+let compare_sets_lex a b =
+  (* Sets as ascending tuples; shorter prefix-equal set is smaller. *)
+  let rec go xs ys =
+    match (xs, ys) with
+    | [], [] -> 0
+    | [], _ :: _ -> -1
+    | _ :: _, [] -> 1
+    | x :: xs', y :: ys' ->
+      let c = Int.compare x y in
+      if c <> 0 then c else go xs' ys'
+  in
+  go (Set.elements a) (Set.elements b)

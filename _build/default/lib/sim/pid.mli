@@ -1,0 +1,24 @@
+(** Processor identifiers.
+
+    The paper draws identifiers from a totally ordered set [P]. We use
+    integers; the total order is the usual one. *)
+
+type t = int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+(** [set_of_list l] builds a set from a list of identifiers. *)
+val set_of_list : t list -> Set.t
+
+(** [pp_set fmt s] prints a processor set as [{1, 2, 3}]. *)
+val pp_set : Format.formatter -> Set.t -> unit
+
+(** Lexicographic comparison of processor sets viewed as ascending tuples,
+    as required by the paper's [<=lex] on proposal sets (Section 3.1). *)
+val compare_sets_lex : Set.t -> Set.t -> int

@@ -1,0 +1,47 @@
+type entry = {
+  time : float;
+  node : Pid.t option;
+  tag : string;
+  detail : string;
+}
+
+type t = {
+  limit : int;
+  mutable rev_entries : entry list; (* newest first *)
+  mutable len : int;
+}
+
+let create ?(limit = 100_000) () = { limit; rev_entries = []; len = 0 }
+
+let record t ~time ?node ~tag detail =
+  t.rev_entries <- { time; node; tag; detail } :: t.rev_entries;
+  t.len <- t.len + 1;
+  if t.len > 2 * t.limit then begin
+    (* amortized truncation to the newest [limit] entries *)
+    let rec keep n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: rest -> x :: keep (n - 1) rest
+    in
+    t.rev_entries <- keep t.limit t.rev_entries;
+    t.len <- t.limit
+  end
+
+let entries t = List.rev t.rev_entries
+let with_tag t tag = List.filter (fun e -> String.equal e.tag tag) (entries t)
+
+let count t tag =
+  List.fold_left
+    (fun acc e -> if String.equal e.tag tag then acc + 1 else acc)
+    0 t.rev_entries
+
+let clear t =
+  t.rev_entries <- [];
+  t.len <- 0
+
+let pp_entry fmt e =
+  let pp_node fmt = function
+    | None -> Format.fprintf fmt "-"
+    | Some p -> Pid.pp fmt p
+  in
+  Format.fprintf fmt "[%8.2f] p%a %s: %s" e.time pp_node e.node e.tag e.detail

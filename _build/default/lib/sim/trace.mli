@@ -1,0 +1,32 @@
+(** Structured execution traces.
+
+    Protocols emit tagged events during a run; tests and experiments assert
+    over the resulting sequence (e.g. that the delicate-replacement automaton
+    of Figure 2 moves 0 -> 1 -> 2 -> 0). *)
+
+type entry = {
+  time : float;
+  node : Pid.t option;
+  tag : string;
+  detail : string;
+}
+
+type t
+
+(** [create ~limit ()] keeps at most [limit] most-recent entries
+    (default 100_000). *)
+val create : ?limit:int -> unit -> t
+
+val record : t -> time:float -> ?node:Pid.t -> tag:string -> string -> unit
+
+(** Entries in chronological order. *)
+val entries : t -> entry list
+
+(** [with_tag t tag] is the chronological sub-sequence carrying [tag]. *)
+val with_tag : t -> string -> entry list
+
+(** [count t tag] is [List.length (with_tag t tag)]. *)
+val count : t -> string -> int
+
+val clear : t -> unit
+val pp_entry : Format.formatter -> entry -> unit

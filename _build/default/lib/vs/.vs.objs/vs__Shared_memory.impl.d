@@ -1,0 +1,1 @@
+lib/vs/shared_memory.ml: List Map Pid Sim String Vs_service

@@ -1,0 +1,1 @@
+lib/vs/shared_memory.mli: Pid Reconfig Sim Vs_service

@@ -1,0 +1,1 @@
+lib/vs/smr.ml: Pid Sim Vs_service

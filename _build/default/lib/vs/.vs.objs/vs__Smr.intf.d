@@ -1,0 +1,1 @@
+lib/vs/smr.mli: Pid Reconfig Sim Vs_service

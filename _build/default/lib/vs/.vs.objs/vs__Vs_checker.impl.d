@@ -1,0 +1,1 @@
+lib/vs/vs_checker.ml: Format List Pid Sim Vs_service

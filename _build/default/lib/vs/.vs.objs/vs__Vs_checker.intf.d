@@ -1,0 +1,1 @@
+lib/vs/vs_checker.mli: Pid Sim Vs_service

@@ -1,0 +1,1 @@
+lib/vs/vs_service.ml: Bool Config_value Counter Counter_service Counters Format List Pid Quorum Reconfig Recsa Sim Stack

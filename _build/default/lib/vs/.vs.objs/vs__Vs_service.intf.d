@@ -1,0 +1,1 @@
+lib/vs/vs_service.mli: Counter Counters Format Pid Reconfig Sim

@@ -1,0 +1,68 @@
+open Sim
+
+type reg = string
+type value = int
+
+type cmd =
+  | Write of { reg : reg; value : value; writer : Pid.t }
+  | Read of { reg : reg; reader : Pid.t; rid : int }
+  | Cas of { reg : reg; expected : value option; value : value; writer : Pid.t; rid : int }
+
+module Reg_map = Map.Make (String)
+
+type rstate = {
+  regs : value Reg_map.t;
+  reads : ((Pid.t * int) * value option) list; (* bounded journal, newest first *)
+  cas_results : ((Pid.t * int) * bool) list; (* bounded journal, newest first *)
+}
+
+let journal_bound = 64
+
+let truncate n l =
+  let rec go n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: go (n - 1) rest
+  in
+  go n l
+
+let apply st = function
+  | Write { reg; value; writer = _ } -> { st with regs = Reg_map.add reg value st.regs }
+  | Read { reg; reader; rid } ->
+    let result = Reg_map.find_opt reg st.regs in
+    { st with reads = truncate journal_bound (((reader, rid), result) :: st.reads) }
+  | Cas { reg; expected; value; writer; rid } ->
+    let current = Reg_map.find_opt reg st.regs in
+    let success = current = expected in
+    let regs = if success then Reg_map.add reg value st.regs else st.regs in
+    {
+      st with
+      regs;
+      cas_results = truncate journal_bound (((writer, rid), success) :: st.cas_results);
+    }
+
+let machine =
+  {
+    Vs_service.initial = { regs = Reg_map.empty; reads = []; cas_results = [] };
+    apply;
+  }
+
+type state = (rstate, cmd) Vs_service.state
+type msg = (rstate, cmd) Vs_service.msg
+
+let hooks ?eval_config () = Vs_service.hooks ~machine ?eval_config ()
+let write st ~writer reg value = Vs_service.submit st (Write { reg; value; writer })
+let read st ~reader ~rid reg = Vs_service.submit st (Read { reg; reader; rid })
+
+let read_result st ~reader ~rid =
+  let replica = Vs_service.replica st in
+  List.assoc_opt (reader, rid) replica.reads
+
+let compare_and_set st ~writer ~rid reg ~expected value =
+  Vs_service.submit st (Cas { reg; expected; value; writer; rid })
+
+let cas_result st ~writer ~rid =
+  let replica = Vs_service.replica st in
+  List.assoc_opt (writer, rid) replica.cas_results
+
+let peek st reg = Reg_map.find_opt reg (Vs_service.replica st).regs

@@ -1,0 +1,65 @@
+(** Self-stabilizing reconfigurable emulation of shared memory
+    (Section 4.3, last part; following Birman et al. [5]).
+
+    Multi-writer multi-reader registers emulated over the virtually
+    synchronous SMR: writes and reads are commands in the total order, so
+    the emulation is atomic between delicate reconfigurations; the
+    coordinator suspends operations during a reconfiguration and the
+    register contents survive it (Theorem 4.13 applied to the register
+    state machine).
+
+    Reads travel through the total order too: a [Read] command records its
+    result inside the replica state, where the issuing processor picks it
+    up — this keeps the machine deterministic and the emulation
+    linearizable. *)
+
+open Sim
+
+type reg = string
+type value = int
+
+type cmd =
+  | Write of { reg : reg; value : value; writer : Pid.t }
+  | Read of { reg : reg; reader : Pid.t; rid : int }
+  | Cas of { reg : reg; expected : value option; value : value; writer : Pid.t; rid : int }
+
+type rstate
+(** The replica state: register contents plus a bounded journal of recent
+    read results. *)
+
+val machine : (rstate, cmd) Vs_service.machine
+
+type state = (rstate, cmd) Vs_service.state
+type msg = (rstate, cmd) Vs_service.msg
+
+val hooks :
+  ?eval_config:(self:Pid.t -> trusted:Pid.Set.t -> Pid.Set.t -> bool) ->
+  unit ->
+  (state, msg) Reconfig.Stack.hooks
+
+(** [write st ~writer reg v] submits a write. *)
+val write : state -> writer:Pid.t -> reg -> value -> unit
+
+(** [read st ~reader ~rid reg] submits a read; the result becomes available
+    via [read_result] once the command is delivered. [rid] must be fresh
+    per reader. *)
+val read : state -> reader:Pid.t -> rid:int -> reg -> unit
+
+(** [read_result st ~reader ~rid] — [Some (Some v)] once the read
+    delivered and the register held [v]; [Some None] once delivered with
+    the register unwritten; [None] while still in flight. *)
+val read_result : state -> reader:Pid.t -> rid:int -> value option option
+
+(** [compare_and_set st ~writer ~rid reg ~expected v] submits an atomic
+    compare-and-set: the register is set to [v] iff its value equals
+    [expected] ([None] = unwritten) at the command's point in the total
+    order. [rid] must be fresh per writer. *)
+val compare_and_set :
+  state -> writer:Pid.t -> rid:int -> reg -> expected:value option -> value -> unit
+
+(** [cas_result st ~writer ~rid] — [Some success] once delivered. *)
+val cas_result : state -> writer:Pid.t -> rid:int -> bool option
+
+(** [peek st reg] — the node's local replica snapshot (not linearizable;
+    for tests and monitoring). *)
+val peek : state -> reg -> value option

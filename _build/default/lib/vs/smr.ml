@@ -1,0 +1,31 @@
+open Sim
+
+type 'op cmd = { client : Pid.t; cid : int; op : 'op }
+
+type 'st rstate = {
+  inner : 'st;
+  applied : int Pid.Map.t; (* per-client high-water mark *)
+}
+
+let high_water rs client =
+  match Pid.Map.find_opt client rs.applied with Some c -> c | None -> 0
+
+let wrap (machine : ('st, 'op) Vs_service.machine) =
+  {
+    Vs_service.initial = { inner = machine.Vs_service.initial; applied = Pid.Map.empty };
+    apply =
+      (fun rs c ->
+        if c.cid <= high_water rs c.client then rs (* duplicate or retry: skip *)
+        else
+          {
+            inner = machine.Vs_service.apply rs.inner c.op;
+            applied = Pid.Map.add c.client c.cid rs.applied;
+          });
+  }
+
+let inner rs = rs.inner
+let applied_up_to rs ~client = high_water rs client
+let submit st ~client ~cid op = Vs_service.submit st { client; cid; op }
+
+let hooks ~machine ?eval_config () =
+  Vs_service.hooks ~machine:(wrap machine) ?eval_config ()

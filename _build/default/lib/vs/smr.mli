@@ -1,0 +1,47 @@
+(** State-machine replication facade with at-most-once client semantics.
+
+    The raw virtually synchronous service applies every delivered command;
+    a client that retries a command after a coordinator crash (it cannot
+    know whether the command was delivered) risks double application. This
+    facade wraps any state machine with per-client command identifiers:
+    a command ⟨client, cid, op⟩ is applied at most once — retries and
+    duplicate deliveries are filtered deterministically inside the replica
+    state, so every replica filters identically.
+
+    This is the interface a downstream user builds services on: see
+    [examples/replicated_kv.ml] for the raw layer and the tests for the
+    retry discipline. *)
+
+open Sim
+
+type 'op cmd = {
+  client : Pid.t;
+  cid : int;  (** strictly increasing per client *)
+  op : 'op;
+}
+
+type 'st rstate
+(** Wrapped replica state: the inner machine state plus the per-client
+    high-water marks. *)
+
+(** [wrap machine] lifts a machine on ['st]/['op] to the wrapped
+    command/state types. *)
+val wrap : ('st, 'op) Vs_service.machine -> ('st rstate, 'op cmd) Vs_service.machine
+
+(** The inner machine state of a wrapped replica. *)
+val inner : 'st rstate -> 'st
+
+(** [applied_up_to rs ~client] — the highest [cid] applied for [client]
+    (0 if none): how a client learns which of its commands committed. *)
+val applied_up_to : 'st rstate -> client:Pid.t -> int
+
+(** [submit st ~client ~cid op] — submit (or re-submit) command [cid]. *)
+val submit : ('st rstate, 'op cmd) Vs_service.state -> client:Pid.t -> cid:int -> 'op -> unit
+
+(** Convenience: hooks running a wrapped machine. *)
+val hooks :
+  machine:('st, 'op) Vs_service.machine ->
+  ?eval_config:(self:Pid.t -> trusted:Pid.Set.t -> Pid.Set.t -> bool) ->
+  unit ->
+  (('st rstate, 'op cmd) Vs_service.state, ('st rstate, 'op cmd) Vs_service.msg)
+  Reconfig.Stack.hooks

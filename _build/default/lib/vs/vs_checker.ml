@@ -1,0 +1,98 @@
+open Sim
+
+type 'cmd node_journal = {
+  pid : Pid.t;
+  batches : (Vs_service.view * (Pid.t * 'cmd) list) list;
+}
+
+let journal_of_state pid st = { pid; batches = Vs_service.delivered_batches st }
+
+(* group consecutive same-view batches; a view can only appear once per
+   journal because view identifiers are monotone counters *)
+let per_view j =
+  List.fold_left
+    (fun acc (view, batch) ->
+      match acc with
+      | (v, batches) :: rest when Vs_service.view_equal v view ->
+        (v, batches @ [ batch ]) :: rest
+      | _ -> (view, [ batch ]) :: acc)
+    [] j.batches
+  |> List.rev
+
+let rec equal_up_to_one_trailing a b =
+  match (a, b) with
+  | [], [] -> true
+  | [ _ ], [] | [], [ _ ] -> true
+  | x :: a', y :: b' -> x = y && equal_up_to_one_trailing a' b'
+  | _ -> false
+
+let check journals =
+  let tables = List.map (fun j -> (j.pid, per_view j)) journals in
+  (* 1. per-view agreement up to one trailing batch *)
+  let view_conflict =
+    List.find_map
+      (fun (p1, t1) ->
+        List.find_map
+          (fun (p2, t2) ->
+            if p1 >= p2 then None
+            else
+              List.find_map
+                (fun (v1, b1) ->
+                  List.find_map
+                    (fun (v2, b2) ->
+                      if Vs_service.view_equal v1 v2 && not (equal_up_to_one_trailing b1 b2)
+                      then
+                        Some
+                          (Format.asprintf
+                             "nodes %a and %a disagree on deliveries in %a" Pid.pp p1
+                             Pid.pp p2 Vs_service.pp_view v1)
+                      else None)
+                    t2)
+                t1)
+          tables)
+      tables
+  in
+  match view_conflict with
+  | Some msg -> Error msg
+  | None ->
+    (* 2. no two nodes order a pair of (sender, command) deliveries
+       differently *)
+    let flat =
+      List.map
+        (fun j -> (j.pid, List.concat_map (fun (_, batch) -> batch) j.batches))
+        journals
+    in
+    let index_of x l =
+      let rec go i = function
+        | [] -> None
+        | y :: rest -> if y = x then Some i else go (i + 1) rest
+      in
+      go 0 l
+    in
+    let order_conflict =
+      List.find_map
+        (fun (p1, l1) ->
+          List.find_map
+            (fun (p2, l2) ->
+              if p1 >= p2 then None
+              else
+                List.find_map
+                  (fun x ->
+                    List.find_map
+                      (fun y ->
+                        if x = y then None
+                        else
+                          match (index_of x l1, index_of y l1, index_of x l2, index_of y l2)
+                          with
+                          | Some i1, Some j1, Some i2, Some j2
+                            when (i1 < j1) <> (i2 < j2) ->
+                            Some
+                              (Format.asprintf "nodes %a and %a order deliveries differently"
+                                 Pid.pp p1 Pid.pp p2)
+                          | _ -> None)
+                      l1)
+                  l1)
+            flat)
+        flat
+    in
+    (match order_conflict with Some msg -> Error msg | None -> Ok ())

@@ -1,0 +1,27 @@
+(** Virtual-synchrony audit.
+
+    The defining property (Section 4.3): any two processors that are
+    together in a view deliver the same messages in that view. Our
+    coordinator advances a round only after every view member echoed the
+    previous one, so within a view the per-batch journals of any two
+    members must agree exactly — except that when a view ends (coordinator
+    crash or reconfiguration), the final batch may have reached only a
+    subset of the members before the change. The checker therefore demands
+    per-view batch sequences that are equal up to one trailing batch.
+
+    It also checks total-order consistency: the flattened delivery
+    sequences of any two nodes never order two commands differently. *)
+
+open Sim
+
+type 'cmd node_journal = {
+  pid : Pid.t;
+  batches : (Vs_service.view * (Pid.t * 'cmd) list) list;
+}
+
+(** [journal_of_state pid st] — extract a node's journal. *)
+val journal_of_state : Pid.t -> ('st, 'cmd) Vs_service.state -> 'cmd node_journal
+
+(** [check journals] — [Ok ()] when the virtual-synchrony property holds
+    across all journals; [Error description] otherwise. *)
+val check : 'cmd node_journal list -> (unit, string) result

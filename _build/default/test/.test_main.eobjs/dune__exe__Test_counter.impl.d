@@ -1,0 +1,1 @@
+test/test_counter.ml: Alcotest Counter Counter_algo Counter_service Counters Label Labels List Pid QCheck QCheck_alcotest Reconfig Sim

@@ -1,0 +1,1 @@
+test/test_datalink.ml: Alcotest Channel Datalink Engine List Pid QCheck QCheck_alcotest Rng Sim

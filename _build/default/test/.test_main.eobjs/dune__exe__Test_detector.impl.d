@@ -1,0 +1,1 @@
+test/test_detector.ml: Alcotest Detector List Pid QCheck QCheck_alcotest Sim

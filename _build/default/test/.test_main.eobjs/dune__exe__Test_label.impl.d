@@ -1,0 +1,1 @@
+test/test_label.ml: Alcotest Label Label_algo Label_service Labels List Option Pid QCheck QCheck_alcotest Reconfig Rng Sim

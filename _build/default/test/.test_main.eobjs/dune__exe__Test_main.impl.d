@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_counter Test_datalink Test_detector Test_label Test_quorum Test_recsa Test_register Test_sim Test_units Test_vs

@@ -1,0 +1,1 @@
+test/test_quorum.ml: Alcotest Format List Pid QCheck QCheck_alcotest Quorum Sim

@@ -1,0 +1,1 @@
+test/test_recsa.ml: Alcotest Channel Config_value Datalink Engine Invariants List Notification Option Pid QCheck QCheck_alcotest Quorum Reconfig Recsa Rng Sim Stack Trace

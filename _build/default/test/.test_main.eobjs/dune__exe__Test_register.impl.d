@@ -1,0 +1,1 @@
+test/test_register.ml: Alcotest List Pid Reconfig Register Register_service Sim

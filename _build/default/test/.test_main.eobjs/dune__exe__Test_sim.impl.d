@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Channel Engine Heap Int List Metrics Pid QCheck QCheck_alcotest Rng Sim Trace

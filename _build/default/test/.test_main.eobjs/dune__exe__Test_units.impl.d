@@ -1,0 +1,1 @@
+test/test_units.ml: Alcotest Config_value Format Harness Join List Notification Pid Recma Reconfig Recsa Sim String

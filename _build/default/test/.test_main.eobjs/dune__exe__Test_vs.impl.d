@@ -1,0 +1,1 @@
+test/test_vs.ml: Alcotest Baseline Engine List Pid Reconfig Shared_memory Sim Smr Trace Vs Vs_checker Vs_service

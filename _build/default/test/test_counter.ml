@@ -1,0 +1,259 @@
+(* Tests for the counter increment scheme (Algorithms 4.3-4.5). *)
+
+open Sim
+open Labels
+open Counters
+
+let qtest = QCheck_alcotest.to_alcotest
+let set = Pid.set_of_list
+let lbl c = Label.make ~creator:c ~sting:0 ~antistings:[]
+
+(* --- pure counter order --- *)
+
+let test_counter_order () =
+  let l = lbl 1 in
+  let c1 = Counter.make ~lbl:l ~seqn:3 ~wid:1 in
+  let c2 = Counter.make ~lbl:l ~seqn:4 ~wid:1 in
+  let c3 = Counter.make ~lbl:l ~seqn:4 ~wid:2 in
+  Alcotest.(check bool) "seqn order" true (Counter.precedes c1 c2);
+  Alcotest.(check bool) "wid breaks ties" true (Counter.precedes c2 c3);
+  Alcotest.(check bool) "label dominates" true
+    (Counter.precedes (Counter.make ~lbl:(lbl 1) ~seqn:99 ~wid:9)
+       (Counter.make ~lbl:(lbl 2) ~seqn:0 ~wid:0))
+
+let test_counter_exhaustion () =
+  let c = Counter.make ~lbl:(lbl 1) ~seqn:16 ~wid:1 in
+  Alcotest.(check bool) "exhausted at bound" true (Counter.exhausted ~bound:16 c);
+  Alcotest.(check bool) "not before" false (Counter.exhausted ~bound:17 c)
+
+let prop_counter_total_order_same_label =
+  QCheck.Test.make ~name:"counters with one label are totally ordered"
+    QCheck.(pair (pair small_nat small_nat) (pair small_nat small_nat))
+    (fun ((s1, w1), (s2, w2)) ->
+      let c1 = Counter.make ~lbl:(lbl 1) ~seqn:s1 ~wid:w1 in
+      let c2 = Counter.make ~lbl:(lbl 1) ~seqn:s2 ~wid:w2 in
+      Counter.equal c1 c2 || Counter.precedes c1 c2 || Counter.precedes c2 c1)
+
+(* --- Counter_algo --- *)
+
+let mk_algo self =
+  Counter_algo.create ~self ~members:(set [ 1; 2; 3 ]) ~in_transit_bound:4
+    ~exhaust_bound:1000
+
+let test_algo_initial_counter () =
+  let a = mk_algo 1 in
+  let c = Counter_algo.find_max_counter a in
+  Alcotest.(check int) "starts at 0" 0 c.Counter.seqn;
+  Alcotest.(check int) "own label" 1 c.Counter.lbl.Label.creator
+
+let test_algo_merge_keeps_greatest () =
+  let a = mk_algo 1 in
+  let l = lbl 2 in
+  Counter_algo.merge a ~from:2 (Counter.pair_of (Counter.make ~lbl:l ~seqn:5 ~wid:2));
+  Counter_algo.merge a ~from:2 (Counter.pair_of (Counter.make ~lbl:l ~seqn:9 ~wid:3));
+  Counter_algo.merge a ~from:2 (Counter.pair_of (Counter.make ~lbl:l ~seqn:7 ~wid:1));
+  let c = Counter_algo.find_max_counter a in
+  Alcotest.(check int) "greatest seqn survives" 9 c.Counter.seqn
+
+let test_algo_exhaustion_forces_new_epoch () =
+  let a =
+    Counter_algo.create ~self:1 ~members:(set [ 1; 2 ]) ~in_transit_bound:2
+      ~exhaust_bound:10
+  in
+  Counter_algo.merge a ~from:2
+    (Counter.pair_of (Counter.make ~lbl:(lbl 2) ~seqn:10 ~wid:2));
+  let c = Counter_algo.find_max_counter a in
+  Alcotest.(check bool) "fresh epoch not exhausted" false
+    (Counter.exhausted ~bound:10 c);
+  Alcotest.(check bool) "label creation counted" true (Counter_algo.label_creations a >= 1)
+
+let test_algo_rebuild_voids_non_members () =
+  let a = mk_algo 1 in
+  Counter_algo.merge a ~from:3
+    (Counter.pair_of (Counter.make ~lbl:(lbl 3) ~seqn:4 ~wid:3));
+  Counter_algo.rebuild a ~members:(set [ 1; 2 ]);
+  let c = Counter_algo.find_max_counter a in
+  Alcotest.(check bool) "label by member" true (c.Counter.lbl.Label.creator <> 3)
+
+(* --- full-stack increments --- *)
+
+let make_counter_system ?(seed = 42) ?(n = 4) ?(exhaust_bound = 1 lsl 30) () =
+  let members = List.init n (fun i -> i + 1) in
+  Reconfig.Stack.create ~seed ~n_bound:16
+    ~hooks:(Counter_service.hooks ~in_transit_bound:8 ~exhaust_bound)
+    ~members ()
+
+let app sys p = (Reconfig.Stack.node sys p).Reconfig.Stack.app
+
+let test_member_increment () =
+  let sys = make_counter_system () in
+  Reconfig.Stack.run_rounds sys 15;
+  Counter_service.request_increment (app sys 1);
+  Alcotest.(check bool) "increment completes" true
+    (Reconfig.Stack.run_until sys ~max_steps:400_000 (fun t ->
+         Counter_service.results (app t 1) <> []));
+  match Counter_service.results (app sys 1) with
+  | [ c ] -> Alcotest.(check int) "writer id" 1 c.Counter.wid
+  | _ -> Alcotest.fail "expected exactly one result"
+
+let test_sequential_increments_monotone () =
+  let sys = make_counter_system ~seed:2 () in
+  Reconfig.Stack.run_rounds sys 15;
+  let rec go n =
+    if n = 0 then ()
+    else begin
+      let before = List.length (Counter_service.results (app sys 2)) in
+      Counter_service.request_increment (app sys 2);
+      let done_ t = List.length (Counter_service.results (app t 2)) > before in
+      Alcotest.(check bool) "increment completes" true
+        (Reconfig.Stack.run_until sys ~max_steps:400_000 done_);
+      go (n - 1)
+    end
+  in
+  go 5;
+  let results = Counter_service.results (app sys 2) in
+  Alcotest.(check int) "five results" 5 (List.length results);
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> Counter.precedes a b && monotone rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "strictly increasing" true (monotone results)
+
+let test_concurrent_increments_ordered () =
+  let sys = make_counter_system ~seed:3 () in
+  Reconfig.Stack.run_rounds sys 15;
+  Counter_service.request_increment (app sys 1);
+  Counter_service.request_increment (app sys 3);
+  let both t =
+    Counter_service.results (app t 1) <> [] && Counter_service.results (app t 3) <> []
+  in
+  Alcotest.(check bool) "both complete" true
+    (Reconfig.Stack.run_until sys ~max_steps:600_000 both);
+  let c1 = List.hd (Counter_service.results (app sys 1)) in
+  let c3 = List.hd (Counter_service.results (app sys 3)) in
+  Alcotest.(check bool) "results are ordered (never equal)" true
+    (Counter.precedes c1 c3 || Counter.precedes c3 c1)
+
+let test_non_member_increment () =
+  let sys = make_counter_system ~seed:4 () in
+  Reconfig.Stack.run_rounds sys 15;
+  (* a joiner that is a participant but not a configuration member *)
+  Reconfig.Stack.add_joiner sys 9;
+  Alcotest.(check bool) "joined" true
+    (Reconfig.Stack.run_until sys ~max_steps:400_000 (fun t ->
+         Reconfig.Recsa.is_participant (Reconfig.Stack.node t 9).Reconfig.Stack.sa));
+  (* the member counter must exist before a non-member can read it *)
+  Counter_service.request_increment (app sys 1);
+  Alcotest.(check bool) "member increment first" true
+    (Reconfig.Stack.run_until sys ~max_steps:400_000 (fun t ->
+         Counter_service.results (app t 1) <> []));
+  Counter_service.request_increment (app sys 9);
+  Alcotest.(check bool) "non-member increment completes" true
+    (Reconfig.Stack.run_until sys ~max_steps:600_000 (fun t ->
+         Counter_service.results (app t 9) <> []));
+  let c9 = List.hd (Counter_service.results (app sys 9)) in
+  Alcotest.(check int) "writer is the non-member" 9 c9.Counter.wid
+
+let test_exhaustion_rollover_in_system () =
+  (* tiny exhaustion bound: repeated increments must roll to a new epoch
+     label rather than wrapping *)
+  let sys = make_counter_system ~seed:5 ~exhaust_bound:3 () in
+  Reconfig.Stack.run_rounds sys 15;
+  let rec go n =
+    if n = 0 then ()
+    else begin
+      let before = List.length (Counter_service.results (app sys 1)) in
+      Counter_service.request_increment (app sys 1);
+      Alcotest.(check bool) "increment completes" true
+        (Reconfig.Stack.run_until sys ~max_steps:600_000 (fun t ->
+             List.length (Counter_service.results (app t 1)) > before));
+      go (n - 1)
+    end
+  in
+  go 8;
+  let results = Counter_service.results (app sys 1) in
+  Alcotest.(check int) "eight results" 8 (List.length results);
+  let distinct_labels =
+    List.fold_left
+      (fun acc (c : Counter.t) ->
+        if List.exists (Label.equal c.Counter.lbl) acc then acc else c.Counter.lbl :: acc)
+      [] results
+  in
+  Alcotest.(check bool) "rolled to new epoch labels" true
+    (List.length distinct_labels >= 2);
+  Alcotest.(check bool) "no seqn beyond the bound + 1" true
+    (List.for_all (fun (c : Counter.t) -> c.Counter.seqn <= 4) results)
+
+let test_read_only_operation () =
+  let sys = make_counter_system ~seed:6 () in
+  Reconfig.Stack.run_rounds sys 15;
+  (* establish a counter value first *)
+  Counter_service.request_increment (app sys 1);
+  Alcotest.(check bool) "increment completes" true
+    (Reconfig.Stack.run_until sys ~max_steps:400_000 (fun t ->
+         Counter_service.results (app t 1) <> []));
+  let written = List.hd (Counter_service.results (app sys 1)) in
+  (* a different node reads without incrementing *)
+  Counter_service.request_read (app sys 3);
+  Alcotest.(check bool) "read completes" true
+    (Reconfig.Stack.run_until sys ~max_steps:400_000 (fun t ->
+         Counter_service.read_results (app t 3) <> []));
+  (match Counter_service.read_results (app sys 3) with
+  | [ Some c ] ->
+    Alcotest.(check bool) "read sees at least the written counter" true
+      (Counter.equal c written || Counter.precedes written c)
+  | [ None ] -> Alcotest.fail "read returned bottom despite a completed write"
+  | _ -> Alcotest.fail "expected exactly one read result");
+  (* reads do not bump the counter *)
+  Counter_service.request_read (app sys 2);
+  Alcotest.(check bool) "second read completes" true
+    (Reconfig.Stack.run_until sys ~max_steps:400_000 (fun t ->
+         Counter_service.read_results (app t 2) <> []));
+  match Counter_service.read_results (app sys 2) with
+  | [ Some c ] ->
+    (* read-only operations must not advance the sequence number *)
+    Alcotest.(check int) "same seqn as written" written.Counter.seqn c.Counter.seqn
+  | _ -> Alcotest.fail "expected one read result"
+
+let test_non_member_read () =
+  let sys = make_counter_system ~seed:7 () in
+  Reconfig.Stack.run_rounds sys 15;
+  Counter_service.request_increment (app sys 2);
+  Alcotest.(check bool) "increment" true
+    (Reconfig.Stack.run_until sys ~max_steps:400_000 (fun t ->
+         Counter_service.results (app t 2) <> []));
+  Reconfig.Stack.add_joiner sys 9;
+  Alcotest.(check bool) "joined" true
+    (Reconfig.Stack.run_until sys ~max_steps:400_000 (fun t ->
+         Reconfig.Recsa.is_participant (Reconfig.Stack.node t 9).Reconfig.Stack.sa));
+  Counter_service.request_read (app sys 9);
+  Alcotest.(check bool) "non-member read completes" true
+    (Reconfig.Stack.run_until sys ~max_steps:600_000 (fun t ->
+         Counter_service.read_results (app t 9) <> []))
+
+let suites =
+  [
+    ( "counter.structure",
+      [
+        Alcotest.test_case "order" `Quick test_counter_order;
+        Alcotest.test_case "exhaustion" `Quick test_counter_exhaustion;
+        qtest prop_counter_total_order_same_label;
+      ] );
+    ( "counter.algo",
+      [
+        Alcotest.test_case "initial counter" `Quick test_algo_initial_counter;
+        Alcotest.test_case "merge keeps greatest" `Quick test_algo_merge_keeps_greatest;
+        Alcotest.test_case "exhaustion forces epoch" `Quick test_algo_exhaustion_forces_new_epoch;
+        Alcotest.test_case "rebuild voids non-members" `Quick test_algo_rebuild_voids_non_members;
+      ] );
+    ( "counter.service",
+      [
+        Alcotest.test_case "member increment" `Quick test_member_increment;
+        Alcotest.test_case "sequential monotone" `Quick test_sequential_increments_monotone;
+        Alcotest.test_case "concurrent ordered" `Quick test_concurrent_increments_ordered;
+        Alcotest.test_case "non-member increment" `Quick test_non_member_increment;
+        Alcotest.test_case "exhaustion rollover" `Quick test_exhaustion_rollover_in_system;
+        Alcotest.test_case "read-only operation" `Quick test_read_only_operation;
+        Alcotest.test_case "non-member read" `Quick test_non_member_read;
+      ] );
+  ]

@@ -1,0 +1,102 @@
+(* Tests for the (N,Θ)-failure detector. *)
+
+open Sim
+module FD = Detector.Theta_fd
+
+let set = Pid.set_of_list
+
+(* Simulate r rounds of heartbeats arriving at processor 0 from [live]
+   processors (one heartbeat per live processor per round, in order). *)
+let feed fd live rounds =
+  for _ = 1 to rounds do
+    List.iter (fun p -> FD.heartbeat fd p) live
+  done
+
+let test_trusts_live () =
+  let fd = FD.create ~n_bound:10 ~self:0 () in
+  feed fd [ 1; 2; 3 ] 5;
+  Alcotest.(check bool) "all live trusted" true
+    (Pid.Set.subset (set [ 0; 1; 2; 3 ]) (FD.trusted fd))
+
+let test_suspects_silent () =
+  let fd = FD.create ~n_bound:10 ~theta:4 ~self:0 () in
+  (* p3 heartbeats for a while, then goes silent *)
+  feed fd [ 1; 2; 3 ] 5;
+  feed fd [ 1; 2 ] 200;
+  let trusted = FD.trusted fd in
+  Alcotest.(check bool) "1 trusted" true (Pid.Set.mem 1 trusted);
+  Alcotest.(check bool) "2 trusted" true (Pid.Set.mem 2 trusted);
+  Alcotest.(check bool) "3 suspected" false (Pid.Set.mem 3 trusted)
+
+let test_estimate_tracks_live_count () =
+  let fd = FD.create ~n_bound:32 ~self:0 () in
+  feed fd [ 1; 2; 3; 4; 5 ] 10;
+  Alcotest.(check int) "estimate" 6 (FD.estimate fd)
+
+let test_n_bound_cap () =
+  let fd = FD.create ~n_bound:3 ~self:0 () in
+  feed fd [ 1; 2; 3; 4; 5; 6; 7 ] 10;
+  Alcotest.(check bool) "estimate capped at N" true (FD.estimate fd <= 3)
+
+let test_self_always_trusted () =
+  let fd = FD.create ~n_bound:4 ~self:9 () in
+  Alcotest.(check bool) "self trusted initially" true (Pid.Set.mem 9 (FD.trusted fd));
+  feed fd [ 1; 2 ] 50;
+  Alcotest.(check bool) "self still trusted" true (Pid.Set.mem 9 (FD.trusted fd))
+
+let test_recovers_from_corruption () =
+  let fd = FD.create ~n_bound:10 ~self:0 () in
+  (* arbitrary garbage counts: live processors appear crashed and vice
+     versa *)
+  FD.corrupt fd [ (1, 100_000); (2, 50_000); (42, 0) ];
+  feed fd [ 1; 2; 3 ] 300;
+  let trusted = FD.trusted fd in
+  Alcotest.(check bool) "live re-trusted after corruption" true
+    (Pid.Set.subset (set [ 0; 1; 2; 3 ]) trusted);
+  Alcotest.(check bool) "ghost suspected eventually" false (Pid.Set.mem 42 trusted)
+
+let test_rejoining_heartbeat_restores_trust () =
+  let fd = FD.create ~n_bound:10 ~self:0 () in
+  feed fd [ 1; 2; 3 ] 5;
+  feed fd [ 1; 2 ] 200;
+  Alcotest.(check bool) "suspected while silent" false (Pid.Set.mem 3 (FD.trusted fd));
+  feed fd [ 1; 2; 3 ] 10;
+  Alcotest.(check bool) "trusted again after heartbeats" true (Pid.Set.mem 3 (FD.trusted fd))
+
+let test_known_and_forget () =
+  let fd = FD.create ~n_bound:10 ~self:0 () in
+  feed fd [ 4; 5 ] 1;
+  Alcotest.(check bool) "known contains heard" true
+    (Pid.Set.subset (set [ 0; 4; 5 ]) (FD.known fd));
+  FD.forget fd 4;
+  Alcotest.(check bool) "forgotten" false (Pid.Set.mem 4 (FD.known fd))
+
+let prop_trusted_subset_of_known =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"trusted is always a subset of known + self"
+       QCheck.(small_list (pair (int_range 1 20) (int_range 0 1000)))
+       (fun events ->
+         let fd = FD.create ~n_bound:8 ~self:0 () in
+         List.iter
+           (fun (p, reps) ->
+             for _ = 1 to reps mod 7 do
+               FD.heartbeat fd p
+             done)
+           events;
+         Pid.Set.subset (FD.trusted fd) (Pid.Set.add 0 (FD.known fd))))
+
+let suites =
+  [
+    ( "detector",
+      [
+        Alcotest.test_case "trusts live" `Quick test_trusts_live;
+        Alcotest.test_case "suspects silent" `Quick test_suspects_silent;
+        Alcotest.test_case "estimate" `Quick test_estimate_tracks_live_count;
+        Alcotest.test_case "n_bound cap" `Quick test_n_bound_cap;
+        Alcotest.test_case "self always trusted" `Quick test_self_always_trusted;
+        Alcotest.test_case "recovers from corruption" `Quick test_recovers_from_corruption;
+        Alcotest.test_case "rejoin restores trust" `Quick test_rejoining_heartbeat_restores_trust;
+        Alcotest.test_case "known and forget" `Quick test_known_and_forget;
+        prop_trusted_subset_of_known;
+      ] );
+  ]

@@ -1,0 +1,318 @@
+(* Tests for the simulation kernel: pids, rng, heap, channel, trace,
+   metrics, engine. *)
+
+open Sim
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- Pid --- *)
+
+let test_pid_set_lex () =
+  let s = Pid.set_of_list in
+  Alcotest.(check bool) "equal sets" true (Pid.compare_sets_lex (s [ 1; 2 ]) (s [ 2; 1 ]) = 0);
+  Alcotest.(check bool) "prefix smaller" true (Pid.compare_sets_lex (s [ 1 ]) (s [ 1; 2 ]) < 0);
+  Alcotest.(check bool) "pointwise" true (Pid.compare_sets_lex (s [ 1; 3 ]) (s [ 1; 4 ]) < 0);
+  Alcotest.(check bool) "empty smallest" true (Pid.compare_sets_lex Pid.Set.empty (s [ 0 ]) < 0)
+
+let prop_pid_lex_total_order =
+  QCheck.Test.make ~name:"pid set lex order is antisymmetric"
+    QCheck.(pair (small_list small_nat) (small_list small_nat))
+    (fun (a, b) ->
+      let sa = Pid.set_of_list a and sb = Pid.set_of_list b in
+      let c1 = Pid.compare_sets_lex sa sb and c2 = Pid.compare_sets_lex sb sa in
+      (c1 = 0 && c2 = 0 && Pid.Set.equal sa sb) || c1 * c2 < 0)
+
+(* --- Rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_bounds () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17);
+    let f = Rng.float r in
+    Alcotest.(check bool) "float in range" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 11 in
+  let l = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let s = Rng.shuffle r l in
+  Alcotest.(check (list int)) "same elements" l (List.sort compare s)
+
+let test_rng_split_independent () =
+  let a = Rng.create 5 in
+  let b = Rng.split a in
+  let xs = List.init 20 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_rng_chance_extremes () =
+  let r = Rng.create 1 in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "p=1 always" true (Rng.chance r 1.0);
+    Alcotest.(check bool) "p=0 never" false (Rng.chance r 0.0)
+  done
+
+(* --- Heap --- *)
+
+let test_heap_sorts () =
+  let h = Heap.create Int.compare in
+  List.iter (Heap.push h) [ 5; 3; 8; 1; 9; 2; 7 ];
+  let rec drain acc = if Heap.is_empty h then List.rev acc else drain (Heap.pop h :: acc) in
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 5; 7; 8; 9 ] (drain [])
+
+let test_heap_empty_raises () =
+  let h = Heap.create Int.compare in
+  Alcotest.check_raises "pop empty" Not_found (fun () -> ignore (Heap.pop h));
+  Alcotest.check_raises "peek empty" Not_found (fun () -> ignore (Heap.peek h))
+
+let prop_heap_pop_order =
+  QCheck.Test.make ~name:"heap pops in nondecreasing order"
+    QCheck.(list small_int)
+    (fun l ->
+      let h = Heap.create Int.compare in
+      List.iter (Heap.push h) l;
+      let rec drain acc = if Heap.is_empty h then List.rev acc else drain (Heap.pop h :: acc) in
+      let out = drain [] in
+      out = List.sort Int.compare l)
+
+(* --- Channel --- *)
+
+let test_channel_capacity () =
+  let rng = Rng.create 2 in
+  let ch = Channel.create ~capacity:4 in
+  for i = 1 to 20 do
+    Channel.send ch rng i
+  done;
+  Alcotest.(check bool) "bounded" true (Channel.length ch <= 4);
+  Alcotest.(check int) "sent counted" 20 (Channel.stats ch).Channel.sent;
+  Alcotest.(check bool) "drops counted" true ((Channel.stats ch).Channel.dropped >= 16)
+
+let test_channel_fifo_without_reorder () =
+  let rng = Rng.create 2 in
+  let ch = Channel.create ~capacity:10 in
+  List.iter (Channel.send ch rng) [ 1; 2; 3 ];
+  let take () = Channel.take ch rng ~reorder:false in
+  Alcotest.(check (option int)) "first" (Some 1) (take ());
+  Alcotest.(check (option int)) "second" (Some 2) (take ());
+  Alcotest.(check (option int)) "third" (Some 3) (take ());
+  Alcotest.(check (option int)) "empty" None (take ())
+
+let test_channel_corrupt_and_clear () =
+  let ch = Channel.create ~capacity:3 in
+  Channel.corrupt ch [ 9; 8; 7; 6; 5 ];
+  Alcotest.(check int) "truncated to capacity" 3 (Channel.length ch);
+  Channel.clear ch;
+  Alcotest.(check bool) "cleared" true (Channel.is_empty ch)
+
+(* --- Trace and metrics --- *)
+
+let test_trace_tags () =
+  let tr = Trace.create () in
+  Trace.record tr ~time:1.0 ~node:1 ~tag:"a" "x";
+  Trace.record tr ~time:2.0 ~tag:"b" "y";
+  Trace.record tr ~time:3.0 ~node:2 ~tag:"a" "z";
+  Alcotest.(check int) "count a" 2 (Trace.count tr "a");
+  Alcotest.(check int) "count b" 1 (Trace.count tr "b");
+  match Trace.with_tag tr "a" with
+  | [ e1; e2 ] ->
+    Alcotest.(check string) "order" "x" e1.Trace.detail;
+    Alcotest.(check string) "order" "z" e2.Trace.detail
+  | _ -> Alcotest.fail "expected two entries"
+
+let test_metrics () =
+  let m = Metrics.create () in
+  Metrics.incr m "c";
+  Metrics.add m "c" 4;
+  Alcotest.(check int) "counter" 5 (Metrics.get m "c");
+  Alcotest.(check int) "absent counter" 0 (Metrics.get m "absent");
+  List.iter (Metrics.observe m "s") [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check (option (float 0.001))) "mean" (Some 2.5) (Metrics.mean m "s");
+  Alcotest.(check (option (float 0.001))) "min" (Some 1.0) (Metrics.min_sample m "s");
+  Alcotest.(check (option (float 0.001))) "max" (Some 4.0) (Metrics.max_sample m "s");
+  Alcotest.(check (option (float 0.001))) "median" (Some 2.0) (Metrics.percentile m "s" 0.5)
+
+(* --- Engine --- *)
+
+(* A trivial gossip protocol: every node broadcasts its value; receivers
+   keep the max. *)
+type gossip = { mutable value : int; peers : Pid.t list }
+
+let gossip_behavior pids =
+  {
+    Engine.init = (fun p -> { value = p * 10; peers = List.filter (fun q -> q <> p) pids });
+    on_timer =
+      (fun ctx s ->
+        List.iter (fun q -> Engine.send ctx q s.value) s.peers;
+        s);
+    on_message =
+      (fun _ctx _from v s ->
+        if v > s.value then s.value <- v;
+        s);
+  }
+
+let test_engine_gossip_converges () =
+  let pids = [ 1; 2; 3; 4; 5 ] in
+  let eng = Engine.create ~seed:1 ~behavior:(gossip_behavior pids) ~pids () in
+  let converged t =
+    List.for_all (fun p -> (Engine.state t p).value = 50) (Engine.live_pids t)
+  in
+  Alcotest.(check bool) "gossip converges" true (Engine.run_until eng ~max_steps:20_000 converged)
+
+let test_engine_rounds_advance () =
+  let pids = [ 1; 2; 3 ] in
+  let eng = Engine.create ~seed:2 ~behavior:(gossip_behavior pids) ~pids () in
+  Engine.run_rounds eng 10;
+  Alcotest.(check bool) "rounds >= 10" true (Engine.rounds eng >= 10)
+
+let test_engine_crash_stops_node () =
+  let pids = [ 1; 2 ] in
+  let eng = Engine.create ~seed:3 ~behavior:(gossip_behavior pids) ~pids () in
+  Engine.run_rounds eng 2;
+  Engine.crash eng 2;
+  let v_before = (Engine.state eng 2).value in
+  Engine.run_rounds eng 10;
+  Alcotest.(check int) "crashed state frozen" v_before (Engine.state eng 2).value;
+  Alcotest.(check (list int)) "live pids" [ 1 ] (Engine.live_pids eng)
+
+let test_engine_add_node () =
+  let pids = [ 1; 2 ] in
+  (* the new node's peer list must include it for gossip; use a closure over
+     all prospective pids *)
+  let all = [ 1; 2; 3 ] in
+  let eng = Engine.create ~seed:4 ~behavior:(gossip_behavior all) ~pids () in
+  Engine.run_rounds eng 3;
+  Engine.add_node eng 3;
+  let converged t =
+    List.for_all (fun p -> (Engine.state t p).value = 30) (Engine.live_pids t)
+  in
+  Alcotest.(check bool) "new node's value wins" true
+    (Engine.run_until eng ~max_steps:50_000 converged)
+
+let test_engine_partition_blocks_gossip () =
+  let pids = [ 1; 2; 3; 4 ] in
+  let eng = Engine.create ~seed:7 ~behavior:(gossip_behavior pids) ~pids () in
+  (* cut {1,2} off from {3,4} before any gossip spreads *)
+  Engine.partition eng (Pid.set_of_list [ 1; 2 ]);
+  Engine.run_rounds eng 30;
+  Alcotest.(check int) "max did not cross the cut" 20 (Engine.state eng 1).value;
+  Alcotest.(check int) "other side kept its own max" 40 (Engine.state eng 3).value;
+  (* healing lets the global max win *)
+  Engine.heal eng;
+  let converged t =
+    List.for_all (fun p -> (Engine.state t p).value = 40) (Engine.live_pids t)
+  in
+  Alcotest.(check bool) "heals" true (Engine.run_until eng ~max_steps:50_000 converged)
+
+let test_engine_block_directed_link () =
+  let pids = [ 1; 2 ] in
+  let eng = Engine.create ~seed:8 ~behavior:(gossip_behavior pids) ~pids () in
+  Engine.block_link eng ~src:2 ~dst:1;
+  Alcotest.(check bool) "blocked" true (Engine.link_blocked eng ~src:2 ~dst:1);
+  Alcotest.(check bool) "reverse open" false (Engine.link_blocked eng ~src:1 ~dst:2);
+  Engine.run_rounds eng 20;
+  Alcotest.(check int) "1 never hears from 2" 10 (Engine.state eng 1).value;
+  Alcotest.(check int) "2 hears from 1 fine" 20 (Engine.state eng 2).value;
+  Engine.unblock_link eng ~src:2 ~dst:1;
+  let converged t = (Engine.state t 1).value = 20 in
+  Alcotest.(check bool) "recovers once unblocked" true
+    (Engine.run_until eng ~max_steps:20_000 converged)
+
+let test_engine_timer_fairness () =
+  (* every live node takes timer steps at roughly the same rate: after many
+     steps no node lags the round count by more than a couple of ticks *)
+  let pids = [ 1; 2; 3; 4; 5; 6 ] in
+  let eng = Engine.create ~seed:9 ~behavior:(gossip_behavior pids) ~pids () in
+  Engine.run eng ~steps:5_000;
+  let rounds = Engine.rounds eng in
+  Alcotest.(check bool) "rounds advanced" true (rounds > 10);
+  (* the minimum (rounds) and the per-node tick counts cannot diverge much
+     given the bounded timer jitter; re-running rounds still works *)
+  Engine.run_rounds eng 5;
+  Alcotest.(check bool) "still fair" true (Engine.rounds eng >= rounds + 5)
+
+let test_trace_truncation () =
+  let tr = Trace.create ~limit:10 () in
+  for i = 1 to 100 do
+    Trace.record tr ~time:(float_of_int i) ~tag:"t" (string_of_int i)
+  done;
+  let entries = Trace.entries tr in
+  Alcotest.(check bool) "bounded" true (List.length entries <= 20);
+  (* the newest entry always survives truncation *)
+  match List.rev entries with
+  | last :: _ -> Alcotest.(check string) "newest kept" "100" last.Trace.detail
+  | [] -> Alcotest.fail "trace empty"
+
+let test_metrics_edges () =
+  let m = Metrics.create () in
+  Alcotest.(check (option (float 0.1))) "mean of empty" None (Metrics.mean m "x");
+  Alcotest.(check (option (float 0.1))) "percentile of empty" None
+    (Metrics.percentile m "x" 0.5);
+  Metrics.observe m "x" 5.0;
+  Alcotest.(check (option (float 0.001))) "single-sample percentile" (Some 5.0)
+    (Metrics.percentile m "x" 0.99);
+  Alcotest.(check int) "sample count" 1 (Metrics.sample_count m "x");
+  Metrics.clear m;
+  Alcotest.(check int) "cleared" 0 (Metrics.sample_count m "x")
+
+let test_engine_determinism () =
+  let run () =
+    let pids = [ 1; 2; 3; 4 ] in
+    let eng = Engine.create ~seed:99 ~behavior:(gossip_behavior pids) ~pids () in
+    Engine.run eng ~steps:500;
+    List.map (fun p -> (Engine.state eng p).value) pids
+  in
+  Alcotest.(check (list int)) "same seed, same run" (run ()) (run ())
+
+let suites =
+  [
+    ( "sim.pid",
+      [
+        Alcotest.test_case "set lex order" `Quick test_pid_set_lex;
+        qtest prop_pid_lex_total_order;
+      ] );
+    ( "sim.rng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "bounds" `Quick test_rng_bounds;
+        Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+        Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+        Alcotest.test_case "chance extremes" `Quick test_rng_chance_extremes;
+      ] );
+    ( "sim.heap",
+      [
+        Alcotest.test_case "sorts" `Quick test_heap_sorts;
+        Alcotest.test_case "empty raises" `Quick test_heap_empty_raises;
+        qtest prop_heap_pop_order;
+      ] );
+    ( "sim.channel",
+      [
+        Alcotest.test_case "capacity bound" `Quick test_channel_capacity;
+        Alcotest.test_case "fifo without reorder" `Quick test_channel_fifo_without_reorder;
+        Alcotest.test_case "corrupt and clear" `Quick test_channel_corrupt_and_clear;
+      ] );
+    ( "sim.trace",
+      [
+        Alcotest.test_case "tags" `Quick test_trace_tags;
+        Alcotest.test_case "truncation" `Quick test_trace_truncation;
+        Alcotest.test_case "metrics" `Quick test_metrics;
+        Alcotest.test_case "metrics edges" `Quick test_metrics_edges;
+      ] );
+    ( "sim.engine",
+      [
+        Alcotest.test_case "gossip converges" `Quick test_engine_gossip_converges;
+        Alcotest.test_case "rounds advance" `Quick test_engine_rounds_advance;
+        Alcotest.test_case "crash stops node" `Quick test_engine_crash_stops_node;
+        Alcotest.test_case "add node" `Quick test_engine_add_node;
+        Alcotest.test_case "partition blocks gossip" `Quick test_engine_partition_blocks_gossip;
+        Alcotest.test_case "directed link block" `Quick test_engine_block_directed_link;
+        Alcotest.test_case "timer fairness" `Quick test_engine_timer_fairness;
+        Alcotest.test_case "determinism" `Quick test_engine_determinism;
+      ] );
+  ]

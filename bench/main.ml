@@ -13,7 +13,14 @@
      bench/main.exe --full     micro-benches + full experiment tables
      bench/main.exe --quick    micro-benches + quick tables (explicit)
      bench/main.exe --tables   experiment tables only
-     bench/main.exe --micro    micro-benches only *)
+     bench/main.exe --micro    micro-benches only
+     bench/main.exe --jobs N   run experiment cells on N domains
+                               (default: Domain.recommended_domain_count;
+                               table output is byte-identical for any N)
+     bench/main.exe --json     emit one machine-readable JSON blob
+                               ({name -> ns/run} for the micro-benches,
+                               wall-clock seconds per experiment table)
+                               instead of human-readable output *)
 
 open Bechamel
 open Toolkit
@@ -112,24 +119,30 @@ let bench_recsa_tick =
   Test.make ~name:"recsa.tick_warm_8"
     (Staged.stage (fun () -> Reconfig.Recsa.tick sa ~trusted))
 
+let gossip_round_subject n seed =
+  let pids = List.init n (fun i -> i + 1) in
+  let behavior =
+    {
+      Sim.Engine.init = (fun p -> p);
+      on_timer =
+        (fun ctx s ->
+          List.iter
+            (fun q -> if q <> Sim.Engine.self ctx then Sim.Engine.send ctx q s)
+            pids;
+          s);
+      on_message = (fun _ _ v s -> max v s);
+    }
+  in
+  let eng = Sim.Engine.create ~seed ~behavior ~pids () in
+  fun () -> Sim.Engine.run_rounds eng 1
+
 let bench_engine_round =
-  Test.make ~name:"engine.round_5node_gossip"
-    (Staged.stage
-       (let pids = [ 1; 2; 3; 4; 5 ] in
-        let behavior =
-          {
-            Sim.Engine.init = (fun p -> p);
-            on_timer =
-              (fun ctx s ->
-                List.iter
-                  (fun q -> if q <> Sim.Engine.self ctx then Sim.Engine.send ctx q s)
-                  pids;
-                s);
-            on_message = (fun _ _ v s -> max v s);
-          }
-        in
-        let eng = Sim.Engine.create ~seed:5 ~behavior ~pids () in
-        fun () -> Sim.Engine.run_rounds eng 1))
+  Test.make ~name:"engine.round_5node_gossip" (Staged.stage (gossip_round_subject 5 5))
+
+(* a larger all-to-all workload (16 nodes = 240 directed channels) makes
+   the engine's per-send/per-delivery and rounds-accounting costs visible *)
+let bench_engine_round_16 =
+  Test.make ~name:"engine.round_16node_gossip" (Staged.stage (gossip_round_subject 16 16))
 
 let micro_tests =
   Test.make_grouped ~name:"primitives" ~fmt:"%s %s"
@@ -144,6 +157,7 @@ let micro_tests =
       bench_counter_order;
       bench_recsa_tick;
       bench_engine_round;
+      bench_engine_round_16;
     ]
 
 let run_micro () =
@@ -154,32 +168,92 @@ let run_micro () =
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
   let raw = Benchmark.all cfg instances micro_tests in
   let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun name ols acc ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some (t :: _) -> t
+        | Some [] | None -> nan
+      in
+      (name, est) :: acc)
+    results []
+  |> List.sort compare
+
+let print_micro rows =
   Format.printf "@.== micro-benchmarks (monotonic clock, ns/run) ==@.";
-  let rows =
-    Hashtbl.fold
-      (fun name ols acc ->
-        let est =
-          match Analyze.OLS.estimates ols with
-          | Some (t :: _) -> t
-          | Some [] | None -> nan
-        in
-        (name, est) :: acc)
-      results []
-    |> List.sort compare
-  in
   List.iter (fun (name, est) -> Format.printf "%-40s %12.1f ns/run@." name est) rows
 
 (* --- experiment tables ---------------------------------------------- *)
 
-let run_tables params =
-  List.iter
-    (fun t -> Format.printf "%a@." Harness.Table.pp t)
-    (Harness.Experiments.all params)
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
 
-let run_ablations params =
+(* Run every registered table, returning (id, table, wall_seconds). *)
+let run_registry registry ~jobs params =
+  List.map
+    (fun (id, f) ->
+      let table, dt = timed (fun () -> f ?jobs:(Some jobs) params) in
+      (id, table, dt))
+    registry
+
+let print_tables timed_tables =
   List.iter
-    (fun t -> Format.printf "%a@." Harness.Table.pp t)
-    (Harness.Ablations.all params)
+    (fun (_, t, _) -> Format.printf "%a@." Harness.Table.pp t)
+    timed_tables
+
+(* --- JSON output ----------------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_number f =
+  if Float.is_nan f || Float.is_integer f && Float.abs f > 1e15 then "null"
+  else Printf.sprintf "%.6g" f
+
+let json_num_obj pairs =
+  "{"
+  ^ String.concat ", "
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %s" (json_escape k) (json_number v)) pairs)
+  ^ "}"
+
+let print_json ~jobs ~mode ~micro ~experiments ~ablations ~total_s =
+  let wall_pairs timed_tables = List.map (fun (id, _, dt) -> (id, dt)) timed_tables in
+  Format.printf
+    "{@.  \"schema\": \"ssreconf-bench/1\",@.  \"jobs\": %d,@.  \"mode\": \"%s\",@.  \
+     \"micro_ns_per_run\": %s,@.  \"experiments_wall_s\": %s,@.  \
+     \"ablations_wall_s\": %s,@.  \"total_wall_s\": %s@.}@."
+    jobs mode
+    (json_num_obj micro)
+    (json_num_obj (wall_pairs experiments))
+    (json_num_obj (wall_pairs ablations))
+    (json_number total_s)
+
+(* --- driver ---------------------------------------------------------- *)
+
+let parse_jobs args =
+  let rec go = function
+    | "--jobs" :: v :: _ -> int_of_string v
+    | [ "--jobs" ] -> failwith "--jobs requires an argument"
+    | arg :: rest ->
+      (match String.index_opt arg '=' with
+      | Some i when String.sub arg 0 i = "--jobs" ->
+        int_of_string (String.sub arg (i + 1) (String.length arg - i - 1))
+      | _ -> go rest)
+    | [] -> Harness.Pool.default_jobs ()
+  in
+  go args
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -187,11 +261,27 @@ let () =
   let tables_only = List.mem "--tables" args in
   let micro_only = List.mem "--micro" args in
   let skip_ablations = List.mem "--no-ablations" args in
+  let json = List.mem "--json" args in
+  let jobs = parse_jobs args in
   let params =
     if full then Harness.Experiments.default_params else Harness.Experiments.quick_params
   in
-  if not tables_only then run_micro ();
-  if not micro_only then begin
-    run_tables params;
-    if not skip_ablations then run_ablations params
+  let t0 = Unix.gettimeofday () in
+  let micro = if not tables_only then run_micro () else [] in
+  let experiments =
+    if not micro_only then run_registry Harness.Experiments.registry ~jobs params else []
+  in
+  let ablations =
+    if (not micro_only) && not skip_ablations then
+      run_registry Harness.Ablations.registry ~jobs params
+    else []
+  in
+  let total_s = Unix.gettimeofday () -. t0 in
+  if json then
+    print_json ~jobs ~mode:(if full then "full" else "quick") ~micro ~experiments
+      ~ablations ~total_s
+  else begin
+    if not tables_only then print_micro micro;
+    print_tables experiments;
+    print_tables ablations
   end

@@ -14,6 +14,16 @@ open Reconfig
 (* experiments                                                          *)
 (* ------------------------------------------------------------------ *)
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Harness.Pool.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Run simulation cells on $(docv) domains. Table output is \
+           byte-identical for any job count (default: the number of \
+           available cores).")
+
 let experiments_cmd =
   let full =
     Arg.(value & flag & info [ "full" ] ~doc:"Run with the full parameter grid.")
@@ -24,19 +34,19 @@ let experiments_cmd =
       & info [] ~docv:"ID"
           ~doc:"Experiment identifiers (E1..E11). All when omitted.")
   in
-  let run full ids =
+  let run full jobs ids =
     let params =
       if full then Harness.Experiments.default_params
       else Harness.Experiments.quick_params
     in
     let tables =
       match ids with
-      | [] -> Harness.Experiments.all params
+      | [] -> Harness.Experiments.all ~jobs params
       | ids ->
         List.map
           (fun id ->
             match Harness.Experiments.by_id id with
-            | Some f -> f params
+            | Some f -> f ~jobs params
             | None ->
               Format.eprintf "unknown experiment %s (known: %s)@." id
                 (String.concat ", " Harness.Experiments.ids);
@@ -47,24 +57,24 @@ let experiments_cmd =
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Regenerate the paper-claim tables (E1..E11).")
-    Term.(const run $ full $ ids)
+    Term.(const run $ full $ jobs_arg $ ids)
 
 let ablations_cmd =
   let full =
     Arg.(value & flag & info [ "full" ] ~doc:"Run with the full parameter grid.")
   in
-  let run full =
+  let run full jobs =
     let params =
       if full then Harness.Experiments.default_params
       else Harness.Experiments.quick_params
     in
     List.iter
       (fun t -> Format.printf "%a@." Harness.Table.pp t)
-      (Harness.Ablations.all params)
+      (Harness.Ablations.all ~jobs params)
   in
   Cmd.v
     (Cmd.info "ablations" ~doc:"Run the design-choice ablation sweeps (A1..A4).")
-    Term.(const run $ full)
+    Term.(const run $ full $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* scenario                                                             *)

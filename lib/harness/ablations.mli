@@ -11,11 +11,17 @@
     - A3: channel capacity [cap] vs. recovery cost (more stale packets can
       survive a transient fault in bigger channels).
     - A4: brute-force reset vs. delicate replacement — the cost gap that
-      justifies having both techniques. *)
+      justifies having both techniques.
 
-val a1_theta_sweep : Experiments.params -> Table.t
-val a2_loss_sweep : Experiments.params -> Table.t
-val a3_capacity_sweep : Experiments.params -> Table.t
-val a4_brute_vs_delicate : Experiments.params -> Table.t
+    As in {!Experiments}, [?jobs] runs the sweep cells on a domain pool
+    with deterministic (byte-identical) table output for any job count. *)
 
-val all : Experiments.params -> Table.t list
+val a1_theta_sweep : ?jobs:int -> Experiments.params -> Table.t
+val a2_loss_sweep : ?jobs:int -> Experiments.params -> Table.t
+val a3_capacity_sweep : ?jobs:int -> Experiments.params -> Table.t
+val a4_brute_vs_delicate : ?jobs:int -> Experiments.params -> Table.t
+
+val all : ?jobs:int -> Experiments.params -> Table.t list
+
+(** The (id, ablation) pairs behind {!all}, in order. *)
+val registry : (string * (?jobs:int -> Experiments.params -> Table.t)) list

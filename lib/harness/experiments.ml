@@ -29,23 +29,57 @@ let warm_system ?hooks ~seed n =
   warm_system_with ~hooks ~seed n
 
 (* ------------------------------------------------------------------ *)
+(* Cell scheduling.                                                    *)
+(*                                                                     *)
+(* Every table is computed as a flat list of independent               *)
+(* (variant x seed) simulation cells; each cell is a closure submitted *)
+(* to a domain pool and the results are reassembled in submission      *)
+(* order, so the rendered table is byte-identical for any job count.   *)
+(* Cells must not share mutable state: each builds its own engine,     *)
+(* RNG, trace and metrics.                                             *)
+(* ------------------------------------------------------------------ *)
+
+let product xs ys = List.concat_map (fun x -> List.map (fun y -> (x, y)) ys) xs
+
+let chunk k xs =
+  if k <= 0 then invalid_arg "Experiments.chunk: group size must be positive";
+  let rec split i acc rest =
+    if i = 0 then (List.rev acc, rest)
+    else
+      match rest with
+      | [] -> (List.rev acc, [])
+      | x :: tl -> split (i - 1) (x :: acc) tl
+  in
+  let rec go = function
+    | [] -> []
+    | xs ->
+      let g, rest = split k [] xs in
+      g :: go rest
+  in
+  go xs
+
+(* [per_seed pool p f keys] runs [f key seed] for every (key, seed) cell on
+   the pool and returns one result group per key, seeds in order. *)
+let per_seed pool p f keys =
+  Pool.map pool (fun (key, seed) -> f key seed) (product keys p.seeds)
+  |> chunk (List.length p.seeds)
+
+(* ------------------------------------------------------------------ *)
 (* E1 — Theorem 3.15: convergence from arbitrary states.               *)
 (* ------------------------------------------------------------------ *)
 
-let e1_convergence p =
+let e1_convergence ?(jobs = 1) p =
+  Pool.with_pool ~jobs @@ fun pool ->
+  let run n seed =
+    let sys = warm_system ~seed n in
+    Stack.corrupt_everything sys ~rng:(Rng.create (seed * 7919));
+    match Stack.run_until_quiescent sys ~max_rounds:p.max_rounds with
+    | Some rounds -> (true, float_of_int rounds, Stack.total_resets sys)
+    | None -> (false, float_of_int p.max_rounds, Stack.total_resets sys)
+  in
   let rows =
-    List.map
-      (fun n ->
-        let results =
-          List.map
-            (fun seed ->
-              let sys = warm_system ~seed n in
-              Stack.corrupt_everything sys ~rng:(Rng.create (seed * 7919));
-              match Stack.run_until_quiescent sys ~max_rounds:p.max_rounds with
-              | Some rounds -> (true, float_of_int rounds, Stack.total_resets sys)
-              | None -> (false, float_of_int p.max_rounds, Stack.total_resets sys))
-            p.seeds
-        in
+    List.map2
+      (fun n results ->
         let rounds = List.map (fun (_, r, _) -> r) results in
         let recovered = List.for_all (fun (ok, _, _) -> ok) results in
         let resets = List.fold_left (fun a (_, _, r) -> a + r) 0 results in
@@ -58,6 +92,7 @@ let e1_convergence p =
           Table.cell_int resets;
         ])
       p.sizes
+      (per_seed pool p run p.sizes)
   in
   Table.make ~id:"E1" ~title:"recSA convergence from arbitrary states"
     ~claim:
@@ -75,49 +110,46 @@ let e1_convergence p =
 (* E2 — Theorem 3.16 / Figure 2: delicate replacement.                 *)
 (* ------------------------------------------------------------------ *)
 
-let e2_delicate_replacement p =
+let e2_delicate_replacement ?(jobs = 1) p =
+  Pool.with_pool ~jobs @@ fun pool ->
   let n = match List.rev p.sizes with last :: _ -> last | [] -> 8 in
   let members = Pid.set_of_list (members_of n) in
-  let rows =
+  let cells =
     List.concat_map
       (fun k ->
         List.filter_map
           (fun seed ->
-            if seed <> List.hd p.seeds && k > 1 then None
-            else begin
-              let sys = warm_system ~seed n in
-              (* k concurrent proposals, each dropping a different member *)
-              let proposals =
-                List.init k (fun i -> Pid.Set.remove (i + 1) members)
-              in
-              let accepted =
-                List.mapi (fun i set -> Stack.estab sys (i + 1) set) proposals
-              in
-              let start = Engine.rounds (Stack.engine sys) in
-              let settled t =
-                Stack.quiescent t
-                &&
-                match Stack.uniform_config t with
-                | Some c -> List.exists (Pid.Set.equal c) proposals
-                | None -> false
-              in
-              let ok = Stack.run_until sys ~max_steps:2_000_000 settled in
-              let rounds = Engine.rounds (Stack.engine sys) - start in
-              let tr = Engine.trace (Stack.engine sys) in
-              Some
-                [
-                  Table.cell_int k;
-                  Table.cell_int (List.length (List.filter (fun x -> x) accepted));
-                  Table.cell_bool ok;
-                  Table.cell_int rounds;
-                  Table.cell_int (Trace.count tr "recsa.phase2");
-                  Table.cell_int (Trace.count tr "recsa.phase0");
-                  Table.cell_int (Stack.total_resets sys);
-                ]
-            end)
+            if seed <> List.hd p.seeds && k > 1 then None else Some (k, seed))
           p.seeds)
       [ 1; 2; n / 2; n - 1 ]
   in
+  let cell (k, seed) =
+    let sys = warm_system ~seed n in
+    (* k concurrent proposals, each dropping a different member *)
+    let proposals = List.init k (fun i -> Pid.Set.remove (i + 1) members) in
+    let accepted = List.mapi (fun i set -> Stack.estab sys (i + 1) set) proposals in
+    let start = Engine.rounds (Stack.engine sys) in
+    let settled t =
+      Stack.quiescent t
+      &&
+      match Stack.uniform_config t with
+      | Some c -> List.exists (Pid.Set.equal c) proposals
+      | None -> false
+    in
+    let ok = Stack.run_until sys ~max_steps:2_000_000 settled in
+    let rounds = Engine.rounds (Stack.engine sys) - start in
+    let tr = Engine.trace (Stack.engine sys) in
+    [
+      Table.cell_int k;
+      Table.cell_int (List.length (List.filter (fun x -> x) accepted));
+      Table.cell_bool ok;
+      Table.cell_int rounds;
+      Table.cell_int (Trace.count tr "recsa.phase2");
+      Table.cell_int (Trace.count tr "recsa.phase0");
+      Table.cell_int (Stack.total_resets sys);
+    ]
+  in
+  let rows = Pool.map pool cell cells in
   Table.make ~id:"E2" ~title:"delicate replacement selects exactly one proposal"
     ~claim:
       "Theorem 3.16 / Figure 2: concurrent estab() proposals resolve to a \
@@ -131,29 +163,27 @@ let e2_delicate_replacement p =
 (* E3 — Lemma 3.18: bounded spurious recMA triggerings.                *)
 (* ------------------------------------------------------------------ *)
 
-let e3_recma_trigger_bound p =
+let e3_recma_trigger_bound ?(jobs = 1) p =
+  Pool.with_pool ~jobs @@ fun pool ->
+  let run n seed =
+    let sys = warm_system ~seed n in
+    (* corrupt only the recMA flags: every node believes everyone
+       reported noMaj and needReconf *)
+    let all = members_of n in
+    List.iter
+      (fun (_, node) ->
+        let flags = List.map (fun q -> (q, true)) all in
+        Recma.corrupt node.Stack.ma ~no_maj:flags ~need_reconf:flags)
+      (Stack.live_nodes sys);
+    Stack.run_rounds sys 100;
+    float_of_int
+      (List.fold_left
+         (fun acc (_, node) -> acc + Recma.attempt_count node.Stack.ma)
+         0 (Stack.live_nodes sys))
+  in
   let rows =
-    List.map
-      (fun n ->
-        let attempts =
-          List.map
-            (fun seed ->
-              let sys = warm_system ~seed n in
-              (* corrupt only the recMA flags: every node believes everyone
-                 reported noMaj and needReconf *)
-              let all = members_of n in
-              List.iter
-                (fun (_, node) ->
-                  let flags = List.map (fun q -> (q, true)) all in
-                  Recma.corrupt node.Stack.ma ~no_maj:flags ~need_reconf:flags)
-                (Stack.live_nodes sys);
-              Stack.run_rounds sys 100;
-              float_of_int
-                (List.fold_left
-                   (fun acc (_, node) -> acc + Recma.attempt_count node.Stack.ma)
-                   0 (Stack.live_nodes sys)))
-            p.seeds
-        in
+    List.map2
+      (fun n attempts ->
         let bound = n * n * cap in
         [
           Table.cell_int n;
@@ -163,6 +193,7 @@ let e3_recma_trigger_bound p =
           Table.cell_bool (fmax attempts <= float_of_int bound);
         ])
       p.sizes
+      (per_seed pool p run p.sizes)
   in
   Table.make ~id:"E3" ~title:"spurious recMA triggerings are bounded"
     ~claim:
@@ -176,8 +207,9 @@ let e3_recma_trigger_bound p =
 (* E4 — Lemma 3.20: recMA liveness on collapse / prediction.           *)
 (* ------------------------------------------------------------------ *)
 
-let e4_recma_liveness p =
-  let run_case n seed ~kind =
+let e4_recma_liveness ?(jobs = 1) p =
+  Pool.with_pool ~jobs @@ fun pool ->
+  let run_case (n, kind) seed =
     let hooks =
       match kind with
       | `Collapse -> Stack.unit_hooks
@@ -209,22 +241,24 @@ let e4_recma_liveness p =
     in
     (ok, Engine.rounds (Stack.engine sys) - start, Stack.total_triggers sys)
   in
+  let keys = product p.sizes [ `Collapse; `Prediction ] in
   let rows =
-    List.concat_map
-      (fun n ->
-        List.map
-          (fun kind ->
-            let results = List.map (fun seed -> run_case n seed ~kind) p.seeds in
-            let label = match kind with `Collapse -> "majority collapse" | `Prediction -> "prediction (1/4 crash)" in
-            [
-              Table.cell_int n;
-              label;
-              Table.cell_bool (List.for_all (fun (ok, _, _) -> ok) results);
-              Table.cell_float (mean (List.map (fun (_, r, _) -> float_of_int r) results));
-              Table.cell_int (List.fold_left (fun a (_, _, t) -> a + t) 0 results);
-            ])
-          [ `Collapse; `Prediction ])
-      p.sizes
+    List.map2
+      (fun (n, kind) results ->
+        let label =
+          match kind with
+          | `Collapse -> "majority collapse"
+          | `Prediction -> "prediction (1/4 crash)"
+        in
+        [
+          Table.cell_int n;
+          label;
+          Table.cell_bool (List.for_all (fun (ok, _, _) -> ok) results);
+          Table.cell_float (mean (List.map (fun (_, r, _) -> float_of_int r) results));
+          Table.cell_int (List.fold_left (fun a (_, _, t) -> a + t) 0 results);
+        ])
+      keys
+      (per_seed pool p run_case keys)
   in
   Table.make ~id:"E4" ~title:"recMA reconfigures on collapse and on prediction"
     ~claim:
@@ -238,36 +272,33 @@ let e4_recma_liveness p =
 (* E5 — Theorem 3.26: joining.                                         *)
 (* ------------------------------------------------------------------ *)
 
-let e5_joining p =
+let e5_joining ?(jobs = 1) p =
+  Pool.with_pool ~jobs @@ fun pool ->
+  let run (n, joiners) seed =
+    let sys = warm_system ~seed n in
+    let ids = List.init joiners (fun i -> 100 + i) in
+    List.iter (fun j -> Stack.add_joiner sys j) ids;
+    let start = Engine.rounds (Stack.engine sys) in
+    let ok =
+      Stack.run_until sys ~max_steps:2_000_000 (fun t ->
+          List.for_all
+            (fun j -> Recsa.is_participant (Stack.node t j).Stack.sa)
+            ids)
+    in
+    (ok, float_of_int (Engine.rounds (Stack.engine sys) - start))
+  in
+  let keys = product p.sizes [ 1; 3 ] in
   let rows =
-    List.concat_map
-      (fun n ->
-        List.map
-          (fun joiners ->
-            let results =
-              List.map
-                (fun seed ->
-                  let sys = warm_system ~seed n in
-                  let ids = List.init joiners (fun i -> 100 + i) in
-                  List.iter (fun j -> Stack.add_joiner sys j) ids;
-                  let start = Engine.rounds (Stack.engine sys) in
-                  let ok =
-                    Stack.run_until sys ~max_steps:2_000_000 (fun t ->
-                        List.for_all
-                          (fun j -> Recsa.is_participant (Stack.node t j).Stack.sa)
-                          ids)
-                  in
-                  (ok, float_of_int (Engine.rounds (Stack.engine sys) - start)))
-                p.seeds
-            in
-            [
-              Table.cell_int n;
-              Table.cell_int joiners;
-              Table.cell_bool (List.for_all fst results);
-              Table.cell_float (mean (List.map snd results));
-            ])
-          [ 1; 3 ])
-      p.sizes
+    List.map2
+      (fun (n, joiners) results ->
+        [
+          Table.cell_int n;
+          Table.cell_int joiners;
+          Table.cell_bool (List.for_all fst results);
+          Table.cell_float (mean (List.map snd results));
+        ])
+      keys
+      (per_seed pool p run keys)
   in
   Table.make ~id:"E5" ~title:"joining latency"
     ~claim:
@@ -280,70 +311,69 @@ let e5_joining p =
 (* E6 — Theorem 4.4: label creations.                                  *)
 (* ------------------------------------------------------------------ *)
 
-let e6_label_creations p =
+let e6_label_creations ?(jobs = 1) p =
+  Pool.with_pool ~jobs @@ fun pool ->
   let m_bound = 8 in
+  let run n seed =
+    let hooks = Labels.Label_service.hooks ~in_transit_bound:m_bound in
+    let sys = warm_system_with ~hooks ~seed n in
+    let agreed t = Labels.Label_service.agreed_max t <> None in
+    ignore (Stack.run_until sys ~max_steps:2_000_000 agreed);
+    (* (a) arbitrary label state: plant incomparable same-creator
+       labels everywhere *)
+    List.iter
+      (fun (pid, node) ->
+        match node.Stack.app.Labels.Label_service.algo with
+        | Some algo ->
+          let garbage j =
+            Labels.Label.pair_of
+              (Labels.Label.make ~creator:j ~sting:(1000 + pid)
+                 ~antistings:[ 2000 + pid ])
+          in
+          Labels.Label_algo.corrupt algo
+            ~max_entries:(List.map (fun j -> (j, garbage j)) (members_of n))
+            ~stored_entries:[]
+        | None -> ())
+      (Stack.live_nodes sys);
+    let before = Labels.Label_service.total_creations sys in
+    ignore (Stack.run_until sys ~max_steps:2_000_000 agreed);
+    let corrupt_creations = Labels.Label_service.total_creations sys - before in
+    (* (b) after a delicate reconfiguration *)
+    let rec propose tries =
+      if tries = 0 then ()
+      else if not (Stack.estab sys 1 (Pid.set_of_list (members_of (n - 1)))) then begin
+        Stack.run_rounds sys 2;
+        propose (tries - 1)
+      end
+    in
+    propose 100;
+    let before = Labels.Label_service.total_creations sys in
+    ignore
+      (Stack.run_until sys ~max_steps:2_000_000 (fun t ->
+           (match Stack.uniform_config t with
+           | Some c -> Pid.Set.cardinal c = n - 1
+           | None -> false)
+           && agreed t));
+    let reconfig_creations = Labels.Label_service.total_creations sys - before in
+    (float_of_int corrupt_creations, float_of_int reconfig_creations)
+  in
   let rows =
-    List.map
-      (fun n ->
-        let per_seed =
-          List.map
-            (fun seed ->
-              let hooks = Labels.Label_service.hooks ~in_transit_bound:m_bound in
-              let sys = warm_system_with ~hooks ~seed n in
-              let agreed t = Labels.Label_service.agreed_max t <> None in
-              ignore (Stack.run_until sys ~max_steps:2_000_000 agreed);
-              (* (a) arbitrary label state: plant incomparable same-creator
-                 labels everywhere *)
-              List.iter
-                (fun (pid, node) ->
-                  match node.Stack.app.Labels.Label_service.algo with
-                  | Some algo ->
-                    let garbage j =
-                      Labels.Label.pair_of
-                        (Labels.Label.make ~creator:j ~sting:(1000 + pid)
-                           ~antistings:[ 2000 + pid ])
-                    in
-                    Labels.Label_algo.corrupt algo
-                      ~max_entries:(List.map (fun j -> (j, garbage j)) (members_of n))
-                      ~stored_entries:[]
-                  | None -> ())
-                (Stack.live_nodes sys);
-              let before = Labels.Label_service.total_creations sys in
-              ignore (Stack.run_until sys ~max_steps:2_000_000 agreed);
-              let corrupt_creations = Labels.Label_service.total_creations sys - before in
-              (* (b) after a delicate reconfiguration *)
-              let rec propose tries =
-                if tries = 0 then ()
-                else if not (Stack.estab sys 1 (Pid.set_of_list (members_of (n - 1)))) then begin
-                  Stack.run_rounds sys 2;
-                  propose (tries - 1)
-                end
-              in
-              propose 100;
-              let before = Labels.Label_service.total_creations sys in
-              ignore
-                (Stack.run_until sys ~max_steps:2_000_000 (fun t ->
-                     (match Stack.uniform_config t with
-                     | Some c -> Pid.Set.cardinal c = n - 1
-                     | None -> false)
-                     && agreed t));
-              let reconfig_creations = Labels.Label_service.total_creations sys - before in
-              (float_of_int corrupt_creations, float_of_int reconfig_creations))
-            p.seeds
-        in
+    List.map2
+      (fun n per_seed_results ->
         let corrupt_bound = n * ((n * n) + m_bound) in
         let reconfig_bound = n * n in
         [
           Table.cell_int n;
-          Table.cell_float (mean (List.map fst per_seed));
+          Table.cell_float (mean (List.map fst per_seed_results));
           Table.cell_int corrupt_bound;
-          Table.cell_float (mean (List.map snd per_seed));
+          Table.cell_float (mean (List.map snd per_seed_results));
           Table.cell_int reconfig_bound;
           Table.cell_bool
-            (fmax (List.map fst per_seed) <= float_of_int corrupt_bound
-            && fmax (List.map snd per_seed) <= float_of_int reconfig_bound);
+            (fmax (List.map fst per_seed_results) <= float_of_int corrupt_bound
+            && fmax (List.map snd per_seed_results) <= float_of_int reconfig_bound);
         ])
       p.sizes
+      (per_seed pool p run p.sizes)
   in
   Table.make ~id:"E6" ~title:"label creations until a maximal label"
     ~claim:
@@ -364,59 +394,57 @@ let e6_label_creations p =
 (* E7 — Theorem 4.6: counter increments.                               *)
 (* ------------------------------------------------------------------ *)
 
-let e7_counter_increments p =
+let e7_counter_increments ?(jobs = 1) p =
+  Pool.with_pool ~jobs @@ fun pool ->
   let open Counters in
+  let run (n, clients) seed =
+    let hooks =
+      Counter_service.hooks ~in_transit_bound:8 ~exhaust_bound:(1 lsl 30)
+    in
+    let sys = warm_system_with ~hooks ~seed n in
+    let ids = List.init clients (fun i -> i + 1) in
+    let app t pid = (Stack.node t pid).Stack.app in
+    List.iter (fun pid -> Counter_service.request_increment (app sys pid)) ids;
+    let all_done t =
+      List.for_all (fun pid -> Counter_service.results (app t pid) <> []) ids
+    in
+    let ok = Stack.run_until sys ~max_steps:2_000_000 all_done in
+    let counters =
+      List.concat_map (fun pid -> Counter_service.results (app sys pid)) ids
+    in
+    let distinct =
+      List.for_all
+        (fun c -> List.length (List.filter (Counter.equal c) counters) = 1)
+        counters
+    in
+    let ordered =
+      List.for_all
+        (fun c ->
+          List.for_all
+            (fun c' -> Counter.equal c c' || Counter.comparable c c')
+            counters)
+        counters
+    in
+    let aborts =
+      List.fold_left (fun a pid -> a + Counter_service.aborts (app sys pid)) 0 ids
+    in
+    (ok, distinct && ordered, aborts)
+  in
+  let keys =
+    List.concat_map (fun n -> List.map (fun c -> (n, c)) [ 1; n / 2; n ]) p.sizes
+  in
   let rows =
-    List.concat_map
-      (fun n ->
-        List.map
-          (fun clients ->
-            let results =
-              List.map
-                (fun seed ->
-                  let hooks =
-                    Counter_service.hooks ~in_transit_bound:8 ~exhaust_bound:(1 lsl 30)
-                  in
-                  let sys = warm_system_with ~hooks ~seed n in
-                  let ids = List.init clients (fun i -> i + 1) in
-                  let app t pid = (Stack.node t pid).Stack.app in
-                  List.iter (fun pid -> Counter_service.request_increment (app sys pid)) ids;
-                  let all_done t =
-                    List.for_all (fun pid -> Counter_service.results (app t pid) <> []) ids
-                  in
-                  let ok = Stack.run_until sys ~max_steps:2_000_000 all_done in
-                  let counters =
-                    List.concat_map (fun pid -> Counter_service.results (app sys pid)) ids
-                  in
-                  let distinct =
-                    List.for_all
-                      (fun c ->
-                        List.length (List.filter (Counter.equal c) counters) = 1)
-                      counters
-                  in
-                  let ordered =
-                    List.for_all
-                      (fun c ->
-                        List.for_all
-                          (fun c' -> Counter.equal c c' || Counter.comparable c c')
-                          counters)
-                      counters
-                  in
-                  let aborts =
-                    List.fold_left (fun a pid -> a + Counter_service.aborts (app sys pid)) 0 ids
-                  in
-                  (ok, distinct && ordered, aborts))
-                p.seeds
-            in
-            [
-              Table.cell_int n;
-              Table.cell_int clients;
-              Table.cell_bool (List.for_all (fun (ok, _, _) -> ok) results);
-              Table.cell_bool (List.for_all (fun (_, o, _) -> o) results);
-              Table.cell_int (List.fold_left (fun a (_, _, x) -> a + x) 0 results);
-            ])
-          [ 1; n / 2; n ])
-      p.sizes
+    List.map2
+      (fun (n, clients) results ->
+        [
+          Table.cell_int n;
+          Table.cell_int clients;
+          Table.cell_bool (List.for_all (fun (ok, _, _) -> ok) results);
+          Table.cell_bool (List.for_all (fun (_, o, _) -> o) results);
+          Table.cell_int (List.fold_left (fun a (_, _, x) -> a + x) 0 results);
+        ])
+      keys
+      (per_seed pool p run keys)
   in
   Table.make ~id:"E7" ~title:"concurrent counter increments are totally ordered"
     ~claim:
@@ -429,11 +457,12 @@ let e7_counter_increments p =
 (* E8 — Theorem 4.13: VS SMR throughput and crash tolerance.           *)
 (* ------------------------------------------------------------------ *)
 
-let e8_vs_smr p =
+let e8_vs_smr ?(jobs = 1) p =
+  Pool.with_pool ~jobs @@ fun pool ->
   let open Vs in
   let machine = { Vs_service.initial = 0; apply = (fun s c -> s + c) } in
   let commands_per_node = 5 in
-  let run n seed ~crash_coordinator =
+  let run (n, crash_coordinator) seed =
     let hooks = Vs_service.hooks ~machine () in
     let sys = warm_system_with ~hooks ~seed n in
     let in_view t =
@@ -477,26 +506,25 @@ let e8_vs_smr p =
       Some (ok, rounds, List.length (Stack.live_nodes sys) * commands_per_node)
     end
   in
+  let keys = product p.sizes [ false; true ] in
   let rows =
-    List.concat_map
-      (fun n ->
-        List.map
-          (fun crash ->
-            let results = List.filter_map (fun seed -> run n seed ~crash_coordinator:crash) p.seeds in
-            let all_ok = results <> [] && List.for_all (fun (ok, _, _) -> ok) results in
-            let rounds = List.map (fun (_, r, _) -> float_of_int r) results in
-            let cmds = match results with (_, _, c) :: _ -> c | [] -> 0 in
-            [
-              Table.cell_int n;
-              (if crash then "coordinator crash mid-run" else "steady");
-              Table.cell_bool all_ok;
-              Table.cell_int cmds;
-              Table.cell_float (mean rounds);
-              Table.cell_float
-                (if mean rounds > 0.0 then float_of_int cmds /. mean rounds else 0.0);
-            ])
-          [ false; true ])
-      p.sizes
+    List.map2
+      (fun (n, crash) per_seed_results ->
+        let results = List.filter_map Fun.id per_seed_results in
+        let all_ok = results <> [] && List.for_all (fun (ok, _, _) -> ok) results in
+        let rounds = List.map (fun (_, r, _) -> float_of_int r) results in
+        let cmds = match results with (_, _, c) :: _ -> c | [] -> 0 in
+        [
+          Table.cell_int n;
+          (if crash then "coordinator crash mid-run" else "steady");
+          Table.cell_bool all_ok;
+          Table.cell_int cmds;
+          Table.cell_float (mean rounds);
+          Table.cell_float
+            (if mean rounds > 0.0 then float_of_int cmds /. mean rounds else 0.0);
+        ])
+      keys
+      (per_seed pool p run keys)
   in
   Table.make ~id:"E8" ~title:"virtually synchronous SMR"
     ~claim:
@@ -510,23 +538,25 @@ let e8_vs_smr p =
 (* E9 — baseline comparison: self-stabilization matters.               *)
 (* ------------------------------------------------------------------ *)
 
-let e9_baseline_comparison p =
+let e9_baseline_comparison ?(jobs = 1) p =
+  Pool.with_pool ~jobs @@ fun pool ->
   let n = match p.sizes with first :: _ -> first | [] -> 4 in
   let trials = List.length p.seeds in
   let dead_config = Pid.set_of_list [ 1777; 1888 ] in
   let baseline_recoveries =
-    List.length
-      (List.filter
-         (fun seed ->
-           let b = Baseline.Epoch_config.create ~seed ~members:(members_of n) () in
-           Baseline.Epoch_config.run_rounds b 10;
-           Baseline.Epoch_config.corrupt b 1 ~epoch:1_000_000 ~config:dead_config;
-           Baseline.Epoch_config.run_rounds b p.max_rounds;
-           Baseline.Epoch_config.healthy b)
-         p.seeds)
+    Pool.map pool
+      (fun seed ->
+        let b = Baseline.Epoch_config.create ~seed ~members:(members_of n) () in
+        Baseline.Epoch_config.run_rounds b 10;
+        Baseline.Epoch_config.corrupt b 1 ~epoch:1_000_000 ~config:dead_config;
+        Baseline.Epoch_config.run_rounds b p.max_rounds;
+        Baseline.Epoch_config.healthy b)
+      p.seeds
+    |> List.filter (fun ok -> ok)
+    |> List.length
   in
   let ours =
-    List.filter_map
+    Pool.map pool
       (fun seed ->
         let sys = warm_system ~seed n in
         List.iter
@@ -535,6 +565,7 @@ let e9_baseline_comparison p =
           (Stack.live_nodes sys);
         Stack.run_until_quiescent sys ~max_rounds:p.max_rounds)
       p.seeds
+    |> List.filter_map Fun.id
   in
   let rows =
     [
@@ -570,7 +601,7 @@ let e9_baseline_comparison p =
 (* E10 — Figure 1: the module interfaces compose as depicted.          *)
 (* ------------------------------------------------------------------ *)
 
-let e10_interface_contract p =
+let e10_interface_contract ?jobs:_ p =
   let seed = match p.seeds with s :: _ -> s | [] -> 1 in
   let n = match p.sizes with s :: _ -> s | [] -> 4 in
   let blocked = ref true in
@@ -630,67 +661,66 @@ let e10_interface_contract p =
 (* E11 — shared memory emulation.                                      *)
 (* ------------------------------------------------------------------ *)
 
-let e11_shared_memory p =
+let e11_shared_memory ?(jobs = 1) p =
+  Pool.with_pool ~jobs @@ fun pool ->
   let open Vs in
+  let run n seed =
+    let sys = warm_system_with ~hooks:(Shared_memory.hooks ()) ~seed n in
+    let app pid = (Stack.node sys pid).Stack.app in
+    let in_view t =
+      List.for_all
+        (fun (_, node) ->
+          Vs_service.status_of node.Stack.app = Vs_service.Multicast
+          && (Vs_service.current_view node.Stack.app).Vs_service.vid <> None)
+        (Stack.live_nodes t)
+    in
+    if not (Stack.run_until sys ~max_steps:2_000_000 in_view) then (false, false)
+    else begin
+      (* writers write distinct values; readers read after *)
+      List.iteri
+        (fun i pid -> Shared_memory.write (app pid) ~writer:pid "r" (100 + i))
+        (members_of n);
+      let writes_done t =
+        List.for_all
+          (fun (_, node) -> Shared_memory.peek node.Stack.app "r" <> None)
+          (Stack.live_nodes t)
+      in
+      let w_ok = Stack.run_until sys ~max_steps:2_000_000 writes_done in
+      List.iter
+        (fun pid -> Shared_memory.read (app pid) ~reader:pid ~rid:1 "r")
+        (members_of n);
+      let reads_done _t =
+        List.for_all
+          (fun pid ->
+            match Shared_memory.read_result (app pid) ~reader:pid ~rid:1 with
+            | Some (Some v) -> v >= 100 && v < 100 + n
+            | Some None | None -> false)
+          (members_of n)
+      in
+      let r_ok = Stack.run_until sys ~max_steps:2_000_000 reads_done in
+      (* atomicity: every node sees the same final value *)
+      let finals =
+        List.map (fun (_, node) -> Shared_memory.peek node.Stack.app "r")
+          (Stack.live_nodes sys)
+      in
+      let agree =
+        match finals with
+        | first :: rest -> List.for_all (( = ) first) rest
+        | [] -> false
+      in
+      (w_ok && r_ok, agree)
+    end
+  in
   let rows =
-    List.map
-      (fun n ->
-        let results =
-          List.map
-            (fun seed ->
-              let sys = warm_system_with ~hooks:(Shared_memory.hooks ()) ~seed n in
-              let app pid = (Stack.node sys pid).Stack.app in
-              let in_view t =
-                List.for_all
-                  (fun (_, node) ->
-                    Vs_service.status_of node.Stack.app = Vs_service.Multicast
-                    && (Vs_service.current_view node.Stack.app).Vs_service.vid <> None)
-                  (Stack.live_nodes t)
-              in
-              if not (Stack.run_until sys ~max_steps:2_000_000 in_view) then (false, false)
-              else begin
-                (* writers write distinct values; readers read after *)
-                List.iteri
-                  (fun i pid -> Shared_memory.write (app pid) ~writer:pid "r" (100 + i))
-                  (members_of n);
-                let writes_done t =
-                  List.for_all
-                    (fun (_, node) -> Shared_memory.peek node.Stack.app "r" <> None)
-                    (Stack.live_nodes t)
-                in
-                let w_ok = Stack.run_until sys ~max_steps:2_000_000 writes_done in
-                List.iter
-                  (fun pid -> Shared_memory.read (app pid) ~reader:pid ~rid:1 "r")
-                  (members_of n);
-                let reads_done _t =
-                  List.for_all
-                    (fun pid ->
-                      match Shared_memory.read_result (app pid) ~reader:pid ~rid:1 with
-                      | Some (Some v) -> v >= 100 && v < 100 + n
-                      | Some None | None -> false)
-                    (members_of n)
-                in
-                let r_ok = Stack.run_until sys ~max_steps:2_000_000 reads_done in
-                (* atomicity: every node sees the same final value *)
-                let finals =
-                  List.map (fun (_, node) -> Shared_memory.peek node.Stack.app "r")
-                    (Stack.live_nodes sys)
-                in
-                let agree =
-                  match finals with
-                  | first :: rest -> List.for_all (( = ) first) rest
-                  | [] -> false
-                in
-                (w_ok && r_ok, agree)
-              end)
-            p.seeds
-        in
+    List.map2
+      (fun n results ->
         [
           Table.cell_int n;
           Table.cell_bool (List.for_all fst results);
           Table.cell_bool (List.for_all snd results);
         ])
       p.sizes
+      (per_seed pool p run p.sizes)
   in
   Table.make ~id:"E11" ~title:"MWMR shared memory emulation"
     ~claim:
@@ -704,65 +734,61 @@ let e11_shared_memory p =
 (* E12 — churn: sustained joins and leaves.                             *)
 (* ------------------------------------------------------------------ *)
 
-let e12_churn p =
+let e12_churn ?(jobs = 1) p =
+  Pool.with_pool ~jobs @@ fun pool ->
   let n = match p.sizes with first :: _ -> first | [] -> 4 in
-  let rows =
-    List.concat_map
-      (fun churn_period ->
-        List.map
-          (fun seed ->
-            let hooks =
-              { Stack.unit_hooks with eval_conf = Stack.default_eval_conf () }
-            in
-            let sys = warm_system_with ~hooks ~seed (2 * n) in
-            (* alternate joins and crashes every [churn_period] rounds *)
-            let next_id = ref 1000 in
-            let crashed = ref 0 in
-            let events = 6 in
-            for i = 1 to events do
-              if i mod 2 = 0 && !crashed < n then begin
-                Stack.crash sys (!crashed + 1);
-                incr crashed
-              end
-              else begin
-                Stack.add_joiner sys !next_id;
-                incr next_id
-              end;
-              Stack.run_rounds sys churn_period
-            done;
-            (* churn stops; the system must settle on a configuration with
-               a live majority *)
-            let healthy t =
-              Stack.quiescent t
-              &&
-              match Stack.uniform_config t with
-              | Some c ->
-                Quorum.has_majority ~config:c
-                  (Pid.set_of_list (Engine.live_pids (Stack.engine t)))
-              | None -> false
-            in
-            let rec wait budget =
-              if healthy sys then Some (Engine.rounds (Stack.engine sys))
-              else if budget = 0 then None
-              else begin
-                Stack.run_rounds sys 5;
-                wait (budget - 1)
-              end
-            in
-            let start = Engine.rounds (Stack.engine sys) in
-            let settled = wait 120 in
-            [
-              Table.cell_int churn_period;
-              Table.cell_int seed;
-              Table.cell_bool (settled <> None);
-              (match settled with
-              | Some r -> Table.cell_int (r - start)
-              | None -> "-");
-              Table.cell_int (Stack.total_triggers sys);
-            ])
-          p.seeds)
-      [ 5; 15; 40 ]
+  let cell (churn_period, seed) =
+    let hooks =
+      { Stack.unit_hooks with eval_conf = Stack.default_eval_conf () }
+    in
+    let sys = warm_system_with ~hooks ~seed (2 * n) in
+    (* alternate joins and crashes every [churn_period] rounds *)
+    let next_id = ref 1000 in
+    let crashed = ref 0 in
+    let events = 6 in
+    for i = 1 to events do
+      if i mod 2 = 0 && !crashed < n then begin
+        Stack.crash sys (!crashed + 1);
+        incr crashed
+      end
+      else begin
+        Stack.add_joiner sys !next_id;
+        incr next_id
+      end;
+      Stack.run_rounds sys churn_period
+    done;
+    (* churn stops; the system must settle on a configuration with
+       a live majority *)
+    let healthy t =
+      Stack.quiescent t
+      &&
+      match Stack.uniform_config t with
+      | Some c ->
+        Quorum.has_majority ~config:c
+          (Pid.set_of_list (Engine.live_pids (Stack.engine t)))
+      | None -> false
+    in
+    let rec wait budget =
+      if healthy sys then Some (Engine.rounds (Stack.engine sys))
+      else if budget = 0 then None
+      else begin
+        Stack.run_rounds sys 5;
+        wait (budget - 1)
+      end
+    in
+    let start = Engine.rounds (Stack.engine sys) in
+    let settled = wait 120 in
+    [
+      Table.cell_int churn_period;
+      Table.cell_int seed;
+      Table.cell_bool (settled <> None);
+      (match settled with
+      | Some r -> Table.cell_int (r - start)
+      | None -> "-");
+      Table.cell_int (Stack.total_triggers sys);
+    ]
   in
+  let rows = Pool.map pool cell (product [ 5; 15; 40 ] p.seeds) in
   Table.make ~id:"E12" ~title:"sustained churn"
     ~claim:
       "Section 1: the scheme tolerates ongoing joins and crashes; once the \
@@ -775,35 +801,36 @@ let e12_churn p =
 (* E13 — (N,Θ)-failure-detector estimate accuracy (Section 2).          *)
 (* ------------------------------------------------------------------ *)
 
-let e13_fd_estimate p =
-  let rows =
+let e13_fd_estimate ?(jobs = 1) p =
+  Pool.with_pool ~jobs @@ fun pool ->
+  let run (n, crashed) seed =
+    let sys = warm_system ~seed n in
+    List.iter (fun v -> Stack.crash sys v) (List.init crashed (fun i -> i + 1));
+    Stack.run_rounds sys 60;
+    let estimates =
+      List.map
+        (fun (_, node) ->
+          float_of_int (Detector.Theta_fd.estimate node.Stack.fd))
+        (Stack.live_nodes sys)
+    in
+    mean estimates
+  in
+  let keys =
     List.concat_map
-      (fun n ->
-        List.map
-          (fun crashed ->
-            let per_seed =
-              List.map
-                (fun seed ->
-                  let sys = warm_system ~seed n in
-                  List.iter (fun v -> Stack.crash sys v) (List.init crashed (fun i -> i + 1));
-                  Stack.run_rounds sys 60;
-                  let estimates =
-                    List.map
-                      (fun (_, node) ->
-                        float_of_int (Detector.Theta_fd.estimate node.Stack.fd))
-                      (Stack.live_nodes sys)
-                  in
-                  mean estimates)
-                p.seeds
-            in
-            [
-              Table.cell_int n;
-              Table.cell_int crashed;
-              Table.cell_int (n - crashed);
-              Table.cell_float (mean per_seed);
-            ])
-          [ 0; max 1 (n / 4) ])
+      (fun n -> List.map (fun c -> (n, c)) [ 0; max 1 (n / 4) ])
       p.sizes
+  in
+  let rows =
+    List.map2
+      (fun (n, crashed) per_seed_means ->
+        [
+          Table.cell_int n;
+          Table.cell_int crashed;
+          Table.cell_int (n - crashed);
+          Table.cell_float (mean per_seed_means);
+        ])
+      keys
+      (per_seed pool p run keys)
   in
   Table.make ~id:"E13" ~title:"failure-detector live-count estimate"
     ~claim:
@@ -816,33 +843,29 @@ let e13_fd_estimate p =
 (* E14 — partitions: temporary connectivity violations.                 *)
 (* ------------------------------------------------------------------ *)
 
-let e14_partitions p =
+let e14_partitions ?(jobs = 1) p =
+  Pool.with_pool ~jobs @@ fun pool ->
   let n = match List.rev p.sizes with last :: _ -> last | [] -> 8 in
-  let rows =
-    List.concat_map
-      (fun cut_rounds ->
-        List.map
-          (fun seed ->
-            let sys = warm_system ~seed n in
-            let minority = Pid.set_of_list (List.init (n / 2) (fun i -> i + 1)) in
-            Engine.partition (Stack.engine sys) minority;
-            Stack.run_rounds sys cut_rounds;
-            Engine.heal (Stack.engine sys);
-            let start = Engine.rounds (Stack.engine sys) in
-            let ok =
-              Stack.run_until sys ~max_steps:3_000_000 (fun t ->
-                  Stack.quiescent t && Stack.uniform_config t <> None)
-            in
-            [
-              Table.cell_int cut_rounds;
-              Table.cell_int seed;
-              Table.cell_bool ok;
-              Table.cell_int (Engine.rounds (Stack.engine sys) - start);
-              Table.cell_int (Stack.total_resets sys);
-            ])
-          p.seeds)
-      [ 10; 40; 120 ]
+  let cell (cut_rounds, seed) =
+    let sys = warm_system ~seed n in
+    let minority = Pid.set_of_list (List.init (n / 2) (fun i -> i + 1)) in
+    Engine.partition (Stack.engine sys) minority;
+    Stack.run_rounds sys cut_rounds;
+    Engine.heal (Stack.engine sys);
+    let start = Engine.rounds (Stack.engine sys) in
+    let ok =
+      Stack.run_until sys ~max_steps:3_000_000 (fun t ->
+          Stack.quiescent t && Stack.uniform_config t <> None)
+    in
+    [
+      Table.cell_int cut_rounds;
+      Table.cell_int seed;
+      Table.cell_bool ok;
+      Table.cell_int (Engine.rounds (Stack.engine sys) - start);
+      Table.cell_int (Stack.total_resets sys);
+    ]
   in
+  let rows = Pool.map pool cell (product [ 10; 40; 120 ] p.seeds) in
   Table.make ~id:"E14" ~title:"temporary partitions"
     ~claim:
       "Section 1: a temporary violation of connectivity is a transient \
@@ -855,30 +878,29 @@ let e14_partitions p =
 (* E15 — message overhead per protocol layer.                           *)
 (* ------------------------------------------------------------------ *)
 
-let e15_message_overhead p =
-  let rows =
-    List.map
-      (fun n ->
-        let seed = match p.seeds with s :: _ -> s | [] -> 1 in
-        let sys = warm_system ~seed n in
-        let m = Engine.metrics (Stack.engine sys) in
-        let before kind = Metrics.get m ("sent." ^ kind) in
-        let sa0 = before "sa" and ma0 = before "ma" and hb0 = before "heartbeat" in
-        let rounds = 50 in
-        Stack.run_rounds sys rounds;
-        let per_round v0 kind =
-          float_of_int (Metrics.get m ("sent." ^ kind) - v0) /. float_of_int rounds
-        in
-        [
-          Table.cell_int n;
-          Table.cell_float (per_round sa0 "sa");
-          Table.cell_float (per_round ma0 "ma");
-          Table.cell_float (per_round hb0 "heartbeat");
-          Table.cell_float
-            (per_round sa0 "sa" +. per_round ma0 "ma" +. per_round hb0 "heartbeat");
-        ])
-      p.sizes
+let e15_message_overhead ?(jobs = 1) p =
+  Pool.with_pool ~jobs @@ fun pool ->
+  let cell n =
+    let seed = match p.seeds with s :: _ -> s | [] -> 1 in
+    let sys = warm_system ~seed n in
+    let m = Engine.metrics (Stack.engine sys) in
+    let before kind = Metrics.get m ("sent." ^ kind) in
+    let sa0 = before "sa" and ma0 = before "ma" and hb0 = before "heartbeat" in
+    let rounds = 50 in
+    Stack.run_rounds sys rounds;
+    let per_round v0 kind =
+      float_of_int (Metrics.get m ("sent." ^ kind) - v0) /. float_of_int rounds
+    in
+    [
+      Table.cell_int n;
+      Table.cell_float (per_round sa0 "sa");
+      Table.cell_float (per_round ma0 "ma");
+      Table.cell_float (per_round hb0 "heartbeat");
+      Table.cell_float
+        (per_round sa0 "sa" +. per_round ma0 "ma" +. per_round hb0 "heartbeat");
+    ]
   in
+  let rows = Pool.map pool cell p.sizes in
   Table.make ~id:"E15" ~title:"message overhead per layer (steady state)"
     ~claim:
       "bounded message complexity: every layer broadcasts O(N) messages per \
@@ -891,7 +913,8 @@ let e15_message_overhead p =
 (* E16 — the two shared-memory emulations compared.                     *)
 (* ------------------------------------------------------------------ *)
 
-let e16_register_comparison p =
+let e16_register_comparison ?(jobs = 1) p =
+  Pool.with_pool ~jobs @@ fun pool ->
   let seed = match p.seeds with s :: _ -> s | [] -> 1 in
   let ops = 5 in
   let run_smr n =
@@ -958,16 +981,13 @@ let e16_register_comparison p =
       Some (float_of_int (Engine.rounds (Stack.engine sys) - start) /. float_of_int (2 * ops))
     else None
   in
-  let rows =
-    List.concat_map
-      (fun n ->
-        let cell = function Some r -> Table.cell_float r | None -> "-" in
-        [
-          [ Table.cell_int n; "SMR-based (Vs.Shared_memory)"; cell (run_smr n) ];
-          [ Table.cell_int n; "quorum-based (Register_service)"; cell (run_reg n) ];
-        ])
-      p.sizes
+  let cell (n, kind) =
+    let cell_of = function Some r -> Table.cell_float r | None -> "-" in
+    match kind with
+    | `Smr -> [ Table.cell_int n; "SMR-based (Vs.Shared_memory)"; cell_of (run_smr n) ]
+    | `Reg -> [ Table.cell_int n; "quorum-based (Register_service)"; cell_of (run_reg n) ]
   in
+  let rows = Pool.map pool cell (product p.sizes [ `Smr; `Reg ]) in
   Table.make ~id:"E16" ~title:"shared-memory emulations: SMR vs quorum register"
     ~claim:
       "Section 4.3: both emulation routes provide atomic MWMR registers; \
@@ -977,24 +997,24 @@ let e16_register_comparison p =
     ~header:[ "N"; "emulation"; "rounds per op (mean)" ]
     rows
 
-let all p =
+let all ?jobs p =
   [
-    e1_convergence p;
-    e2_delicate_replacement p;
-    e3_recma_trigger_bound p;
-    e4_recma_liveness p;
-    e5_joining p;
-    e6_label_creations p;
-    e7_counter_increments p;
-    e8_vs_smr p;
-    e9_baseline_comparison p;
-    e10_interface_contract p;
-    e11_shared_memory p;
-    e12_churn p;
-    e13_fd_estimate p;
-    e14_partitions p;
-    e15_message_overhead p;
-    e16_register_comparison p;
+    e1_convergence ?jobs p;
+    e2_delicate_replacement ?jobs p;
+    e3_recma_trigger_bound ?jobs p;
+    e4_recma_liveness ?jobs p;
+    e5_joining ?jobs p;
+    e6_label_creations ?jobs p;
+    e7_counter_increments ?jobs p;
+    e8_vs_smr ?jobs p;
+    e9_baseline_comparison ?jobs p;
+    e10_interface_contract ?jobs p;
+    e11_shared_memory ?jobs p;
+    e12_churn ?jobs p;
+    e13_fd_estimate ?jobs p;
+    e14_partitions ?jobs p;
+    e15_message_overhead ?jobs p;
+    e16_register_comparison ?jobs p;
   ]
 
 let registry =

@@ -3,7 +3,12 @@
     The paper is a theory paper: its evaluation is a set of theorems and
     asymptotic bounds plus two structural figures. Each experiment here
     regenerates the measurable content of one claim on the simulation
-    substrate. Every experiment is deterministic given its seeds. *)
+    substrate. Every experiment is deterministic given its seeds.
+
+    Each (experiment x size x seed) cell is an independent simulation; the
+    [?jobs] argument runs the cells on a {!Pool} of that many domains.
+    Results are reassembled in deterministic order, so the rendered tables
+    are byte-identical for every job count (default: sequential). *)
 
 (** Default parameters; callers (bench, CLI) can shrink for quick runs. *)
 type params = {
@@ -15,27 +20,31 @@ type params = {
 val default_params : params
 val quick_params : params
 
-val e1_convergence : params -> Table.t
-val e2_delicate_replacement : params -> Table.t
-val e3_recma_trigger_bound : params -> Table.t
-val e4_recma_liveness : params -> Table.t
-val e5_joining : params -> Table.t
-val e6_label_creations : params -> Table.t
-val e7_counter_increments : params -> Table.t
-val e8_vs_smr : params -> Table.t
-val e9_baseline_comparison : params -> Table.t
-val e10_interface_contract : params -> Table.t
-val e11_shared_memory : params -> Table.t
-val e12_churn : params -> Table.t
-val e13_fd_estimate : params -> Table.t
-val e14_partitions : params -> Table.t
-val e15_message_overhead : params -> Table.t
-val e16_register_comparison : params -> Table.t
+val e1_convergence : ?jobs:int -> params -> Table.t
+val e2_delicate_replacement : ?jobs:int -> params -> Table.t
+val e3_recma_trigger_bound : ?jobs:int -> params -> Table.t
+val e4_recma_liveness : ?jobs:int -> params -> Table.t
+val e5_joining : ?jobs:int -> params -> Table.t
+val e6_label_creations : ?jobs:int -> params -> Table.t
+val e7_counter_increments : ?jobs:int -> params -> Table.t
+val e8_vs_smr : ?jobs:int -> params -> Table.t
+val e9_baseline_comparison : ?jobs:int -> params -> Table.t
+val e10_interface_contract : ?jobs:int -> params -> Table.t
+val e11_shared_memory : ?jobs:int -> params -> Table.t
+val e12_churn : ?jobs:int -> params -> Table.t
+val e13_fd_estimate : ?jobs:int -> params -> Table.t
+val e14_partitions : ?jobs:int -> params -> Table.t
+val e15_message_overhead : ?jobs:int -> params -> Table.t
+val e16_register_comparison : ?jobs:int -> params -> Table.t
 
 (** All experiments in order. *)
-val all : params -> Table.t list
+val all : ?jobs:int -> params -> Table.t list
+
+(** The (id, experiment) pairs behind {!all}, in order — for callers that
+    need per-experiment timing or selection. *)
+val registry : (string * (?jobs:int -> params -> Table.t)) list
 
 (** [by_id id] — lookup an experiment by its "E<n>" identifier. *)
-val by_id : string -> (params -> Table.t) option
+val by_id : string -> (?jobs:int -> params -> Table.t) option
 
 val ids : string list

@@ -35,6 +35,22 @@ type ('s, 'm) node = {
   mutable n_ticks : int;
 }
 
+(* Directed links are keyed by a single int packing both endpoints, so the
+   per-send/per-delivery channel lookups hash an immediate int instead of
+   allocating a (src, dst) tuple. Pids must fit in [key_bits] bits. *)
+let key_bits = 30
+let key_mask = (1 lsl key_bits) - 1
+
+let link_key ~src ~dst =
+  if (src lor dst) land lnot key_mask <> 0 then
+    invalid_arg
+      (Printf.sprintf "Engine: pid out of range (src=%d dst=%d, must be in [0, 2^%d))"
+         src dst key_bits);
+  (src lsl key_bits) lor dst
+
+let key_src k = k lsr key_bits
+let key_dst k = k land key_mask
+
 type ('s, 'm) t = {
   behavior : ('s, 'm) behavior;
   e_rng : Rng.t;
@@ -47,12 +63,19 @@ type ('s, 'm) t = {
   timer_min : float;
   timer_max : float;
   nodes : (Pid.t, ('s, 'm) node) Hashtbl.t;
-  channels : (Pid.t * Pid.t, 'm Channel.t) Hashtbl.t;
+  channels : (int, 'm Channel.t) Hashtbl.t; (* keyed by [link_key] *)
   queue : event Heap.t;
-  blocked : (Pid.t * Pid.t, unit) Hashtbl.t;
+  blocked : (int, unit) Hashtbl.t; (* keyed by [link_key] *)
   mutable e_time : float;
   mutable e_seq : int;
   mutable e_steps : int;
+  (* cached view of [rounds]: the minimum tick count over live nodes and how
+     many live nodes sit at that minimum, so [rounds] is O(1) and the O(n)
+     rescan only happens when the minimum actually advances (amortized O(1)
+     per step). *)
+  mutable e_live : int;
+  mutable e_min_ticks : int;
+  mutable e_min_count : int;
   e_trace : Trace.t;
   e_metrics : Metrics.t;
 }
@@ -74,11 +97,12 @@ let schedule_delivery t ~src ~dst =
   push_event t ~at:(t.e_time +. uniform t.e_rng t.min_delay t.max_delay) (Deliver (src, dst))
 
 let channel t ~src ~dst =
-  match Hashtbl.find_opt t.channels (src, dst) with
+  let key = link_key ~src ~dst in
+  match Hashtbl.find_opt t.channels key with
   | Some ch -> ch
   | None ->
     let ch = Channel.create ~capacity:t.capacity in
-    Hashtbl.add t.channels (src, dst) ch;
+    Hashtbl.add t.channels key ch;
     ch
 
 let node t p =
@@ -108,14 +132,20 @@ let create ?(seed = 42) ?(capacity = 8) ?(loss = 0.02) ?(dup = 0.02) ?(reorder =
       e_time = 0.0;
       e_seq = 0;
       e_steps = 0;
+      e_live = 0;
+      e_min_ticks = 0;
+      e_min_count = 0;
       e_trace = Trace.create ();
       e_metrics = Metrics.create ();
     }
   in
   List.iter
     (fun p ->
+      ignore (link_key ~src:p ~dst:p);
       if Hashtbl.mem t.nodes p then invalid_arg "Engine.create: duplicate pid";
       Hashtbl.add t.nodes p { n_state = behavior.init p; n_crashed = false; n_ticks = 0 };
+      t.e_live <- t.e_live + 1;
+      t.e_min_count <- t.e_min_count + 1;
       schedule_timer t p)
     pids;
   t
@@ -135,11 +165,36 @@ let live_pids t =
 let is_live t p = match Hashtbl.find_opt t.nodes p with Some n -> not n.n_crashed | None -> false
 let state t p = (node t p).n_state
 
-let rounds t =
-  Hashtbl.fold
-    (fun _ n acc -> if n.n_crashed then acc else min acc n.n_ticks)
-    t.nodes max_int
-  |> fun r -> if r = max_int then 0 else r
+let rounds t = if t.e_live = 0 then 0 else t.e_min_ticks
+
+(* Rescan the node table to re-establish the min-tick cache; called only
+   when the last node at the current minimum ticked, crashed, or the live
+   set emptied — i.e. when the minimum may have moved. *)
+let recompute_rounds t =
+  let mn = ref max_int and cnt = ref 0 and live = ref 0 in
+  Hashtbl.iter
+    (fun _ n ->
+      if not n.n_crashed then begin
+        incr live;
+        if n.n_ticks < !mn then begin
+          mn := n.n_ticks;
+          cnt := 1
+        end
+        else if n.n_ticks = !mn then incr cnt
+      end)
+    t.nodes;
+  t.e_live <- !live;
+  t.e_min_ticks <- (if !live = 0 then 0 else !mn);
+  t.e_min_count <- !cnt
+
+(* [n] (live) is about to go from [n_ticks] to [n_ticks + 1]. *)
+let note_tick t n =
+  let old = n.n_ticks in
+  n.n_ticks <- old + 1;
+  if old = t.e_min_ticks then begin
+    t.e_min_count <- t.e_min_count - 1;
+    if t.e_min_count = 0 then recompute_rounds t
+  end
 
 let steps t = t.e_steps
 let set_state t p s = (node t p).n_state <- s
@@ -152,24 +207,42 @@ let clear_channels t = Hashtbl.iter (fun _ ch -> Channel.clear ch) t.channels
 
 let crash t p =
   let n = node t p in
-  n.n_crashed <- true;
+  if not n.n_crashed then begin
+    n.n_crashed <- true;
+    t.e_live <- t.e_live - 1;
+    if n.n_ticks = t.e_min_ticks then begin
+      t.e_min_count <- t.e_min_count - 1;
+      if t.e_min_count = 0 && t.e_live > 0 then recompute_rounds t
+    end
+  end;
   Trace.record t.e_trace ~time:t.e_time ~node:p ~tag:"crash" ""
 
 let add_node t p =
+  ignore (link_key ~src:p ~dst:p);
   if Hashtbl.mem t.nodes p then invalid_arg "Engine.add_node: pid exists";
+  let r = rounds t in
   Hashtbl.add t.nodes p
-    { n_state = t.behavior.init p; n_crashed = false; n_ticks = rounds t };
+    { n_state = t.behavior.init p; n_crashed = false; n_ticks = r };
+  (* the fresh node starts at the current round count, so it joins the set
+     of nodes sitting at the cached minimum *)
+  if t.e_live = 0 then begin
+    t.e_min_ticks <- r;
+    t.e_min_count <- 1
+  end
+  else t.e_min_count <- t.e_min_count + 1;
+  t.e_live <- t.e_live + 1;
   (* snap-stabilizing link establishment: links of a fresh connection are
      cleaned of stale packets before use (Section 2) *)
   Hashtbl.iter
-    (fun (src, dst) ch -> if Pid.equal src p || Pid.equal dst p then Channel.clear ch)
+    (fun key ch ->
+      if Pid.equal (key_src key) p || Pid.equal (key_dst key) p then Channel.clear ch)
     t.channels;
   schedule_timer t p;
   Trace.record t.e_trace ~time:t.e_time ~node:p ~tag:"join" ""
 
-let link_blocked t ~src ~dst = Hashtbl.mem t.blocked (src, dst)
-let block_link t ~src ~dst = Hashtbl.replace t.blocked (src, dst) ()
-let unblock_link t ~src ~dst = Hashtbl.remove t.blocked (src, dst)
+let link_blocked t ~src ~dst = Hashtbl.mem t.blocked (link_key ~src ~dst)
+let block_link t ~src ~dst = Hashtbl.replace t.blocked (link_key ~src ~dst) ()
+let unblock_link t ~src ~dst = Hashtbl.remove t.blocked (link_key ~src ~dst)
 
 let partition t group =
   let all = pids t in
@@ -191,17 +264,19 @@ let heal t =
   Trace.record t.e_trace ~time:t.e_time ~tag:"heal" ""
 
 let flush_outbox t ctx =
+  let src = ctx.ctx_self in
   List.iter
     (fun (dst, msg) ->
-      if link_blocked t ~src:ctx.ctx_self ~dst then
-        (Channel.stats (channel t ~src:ctx.ctx_self ~dst)).Channel.dropped <-
-          (Channel.stats (channel t ~src:ctx.ctx_self ~dst)).Channel.dropped + 1
+      let ch = channel t ~src ~dst in
+      if link_blocked t ~src ~dst then begin
+        let st = Channel.stats ch in
+        st.Channel.dropped <- st.Channel.dropped + 1
+      end
       else begin
-      let ch = channel t ~src:ctx.ctx_self ~dst in
-      Channel.send ch t.e_rng msg;
-      (* duplication: occasionally schedule an extra delivery attempt *)
-      if Rng.chance t.e_rng t.dup then Channel.duplicate_head ch;
-      schedule_delivery t ~src:ctx.ctx_self ~dst
+        Channel.send ch t.e_rng msg;
+        (* duplication: occasionally schedule an extra delivery attempt *)
+        if Rng.chance t.e_rng t.dup then Channel.duplicate_head ch;
+        schedule_delivery t ~src ~dst
       end)
     (List.rev ctx.ctx_outbox);
   ctx.ctx_outbox <- []
@@ -218,7 +293,7 @@ let exec_step t kind =
           ctx_trace = t.e_trace; ctx_metrics = t.e_metrics }
       in
       n.n_state <- t.behavior.on_timer ctx n.n_state;
-      n.n_ticks <- n.n_ticks + 1;
+      note_tick t n;
       flush_outbox t ctx;
       schedule_timer t p
     end)

@@ -73,7 +73,8 @@ val state : ('s, 'm) t -> Pid.t -> 's
 val channel : ('s, 'm) t -> src:Pid.t -> dst:Pid.t -> 'm Channel.t
 
 (** [rounds t] counts asynchronous rounds: the minimum number of timer steps
-    taken by any currently-live node. *)
+    taken by any currently-live node. O(1) — the engine maintains the
+    minimum incrementally instead of folding over the node table. *)
 val rounds : ('s, 'm) t -> int
 
 (** [steps t] is the total number of atomic steps executed so far. *)

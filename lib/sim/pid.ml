@@ -18,14 +18,17 @@ let pp_set fmt s =
     (Set.elements s)
 
 let compare_sets_lex a b =
-  (* Sets as ascending tuples; shorter prefix-equal set is smaller. *)
-  let rec go xs ys =
-    match (xs, ys) with
-    | [], [] -> 0
-    | [], _ :: _ -> -1
-    | _ :: _, [] -> 1
-    | x :: xs', y :: ys' ->
+  (* Sets as ascending tuples; shorter prefix-equal set is smaller. Walk the
+     sets lazily instead of materializing both element lists: the comparison
+     usually decides within the first few elements, and this sits on
+     recSA's deterministic-choose path which runs every tick. *)
+  let rec go sa sb =
+    match (sa (), sb ()) with
+    | Seq.Nil, Seq.Nil -> 0
+    | Seq.Nil, Seq.Cons _ -> -1
+    | Seq.Cons _, Seq.Nil -> 1
+    | Seq.Cons (x, sa'), Seq.Cons (y, sb') ->
       let c = Int.compare x y in
-      if c <> 0 then c else go xs' ys'
+      if c <> 0 then c else go sa' sb'
   in
-  go (Set.elements a) (Set.elements b)
+  go (Set.to_seq a) (Set.to_seq b)

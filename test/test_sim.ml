@@ -270,6 +270,68 @@ let test_engine_determinism () =
   in
   Alcotest.(check (list int)) "same seed, same run" (run ()) (run ())
 
+(* rounds is now maintained incrementally (a cached min over live nodes'
+   tick counts); these pin its observable behavior across the membership
+   events that mutate the cache *)
+
+let test_engine_rounds_crash_laggard () =
+  let pids = [ 1; 2; 3; 4 ] in
+  let eng = Engine.create ~seed:11 ~behavior:(gossip_behavior pids) ~pids () in
+  Engine.run_rounds eng 6;
+  let before = Engine.rounds eng in
+  (* crashing nodes removes them from the min; rounds must never go
+     backwards and must keep advancing for the survivors *)
+  Engine.crash eng 1;
+  Alcotest.(check bool) "monotone after crash" true (Engine.rounds eng >= before);
+  Engine.crash eng 2;
+  let mid = Engine.rounds eng in
+  Alcotest.(check bool) "monotone after second crash" true (mid >= before);
+  Engine.run_rounds eng 5;
+  Alcotest.(check bool) "still advances" true (Engine.rounds eng >= mid + 5)
+
+let test_engine_rounds_all_crashed () =
+  let pids = [ 1; 2 ] in
+  let eng = Engine.create ~seed:12 ~behavior:(gossip_behavior pids) ~pids () in
+  Engine.run_rounds eng 4;
+  Engine.crash eng 1;
+  Engine.crash eng 2;
+  Alcotest.(check int) "no live nodes -> rounds 0" 0 (Engine.rounds eng);
+  (* double crash is a no-op, not cache corruption *)
+  Engine.crash eng 1;
+  Alcotest.(check int) "idempotent crash" 0 (Engine.rounds eng)
+
+let test_engine_rounds_add_node () =
+  let all = [ 1; 2; 3 ] in
+  let eng = Engine.create ~seed:13 ~behavior:(gossip_behavior all) ~pids:[ 1; 2 ] () in
+  Engine.run_rounds eng 7;
+  let before = Engine.rounds eng in
+  (* a joiner starts at the current round, so the min is unchanged *)
+  Engine.add_node eng 3;
+  Alcotest.(check int) "join keeps rounds" before (Engine.rounds eng);
+  Engine.run_rounds eng 5;
+  Alcotest.(check bool) "advances with joiner" true (Engine.rounds eng >= before + 5)
+
+let test_engine_run_rounds_unchanged () =
+  (* same seed => same step count to reach the round target, same trace
+     length, same final states — i.e. the O(1) rounds cache did not change
+     what run_rounds does *)
+  let run () =
+    let pids = [ 1; 2; 3; 4; 5 ] in
+    let eng = Engine.create ~seed:21 ~behavior:(gossip_behavior pids) ~pids () in
+    Engine.run_rounds eng 12;
+    ( Engine.rounds eng,
+      Engine.steps eng,
+      List.length (Trace.entries (Engine.trace eng)),
+      List.map (fun p -> (Engine.state eng p).value) pids )
+  in
+  let r1, s1, t1, v1 = run () in
+  let r2, s2, t2, v2 = run () in
+  Alcotest.(check bool) "round target reached" true (r1 >= 12);
+  Alcotest.(check int) "same rounds" r1 r2;
+  Alcotest.(check int) "same steps" s1 s2;
+  Alcotest.(check int) "same trace length" t1 t2;
+  Alcotest.(check (list int)) "same final states" v1 v2
+
 let suites =
   [
     ( "sim.pid",
@@ -314,5 +376,9 @@ let suites =
         Alcotest.test_case "directed link block" `Quick test_engine_block_directed_link;
         Alcotest.test_case "timer fairness" `Quick test_engine_timer_fairness;
         Alcotest.test_case "determinism" `Quick test_engine_determinism;
+        Alcotest.test_case "rounds: crash laggard" `Quick test_engine_rounds_crash_laggard;
+        Alcotest.test_case "rounds: all crashed" `Quick test_engine_rounds_all_crashed;
+        Alcotest.test_case "rounds: add node" `Quick test_engine_rounds_add_node;
+        Alcotest.test_case "run_rounds unchanged" `Quick test_engine_run_rounds_unchanged;
       ] );
   ]

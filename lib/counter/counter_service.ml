@@ -57,14 +57,7 @@ let local_max st =
 let label_creations st =
   match st.algo with Some a -> Counter_algo.label_creations a | None -> 0
 
-let current_members (view : 'a Stack.scheme_view) =
-  let recsa = view.Stack.v_recsa in
-  let trusted = view.Stack.v_trusted in
-  if Recsa.no_reco recsa ~trusted then
-    Config_value.to_set (Recsa.get_config recsa ~trusted)
-  else None
-
-let ensure_algo ~in_transit_bound ~exhaust_bound (view : state Stack.scheme_view) st
+let ensure_algo ~in_transit_bound ~exhaust_bound (view : Stack.scheme_view) st
     members =
   match st.algo with
   | Some algo when Pid.Set.equal (Counter_algo.members algo) members -> algo
@@ -114,7 +107,7 @@ let max_from_responses ~exhaust_bound st =
     in
     if List.for_all dominated returned then Some m else None
 
-let start_write (view : state Stack.scheme_view) st ~conf ~max_counter =
+let start_write (view : Stack.scheme_view) st ~conf ~max_counter =
   let self = view.Stack.v_self in
   let rid = st.next_rid in
   st.next_rid <- st.next_rid + 1;
@@ -138,7 +131,7 @@ let start_write (view : state Stack.scheme_view) st ~conf ~max_counter =
   | Some _ | None -> ());
   out
 
-let finish_write (view : state Stack.scheme_view) st cnt =
+let finish_write (view : Stack.scheme_view) st cnt =
   st.phase <- Idle;
   st.responses <- Pid.Map.empty;
   st.acks <- Pid.Set.empty;
@@ -146,7 +139,7 @@ let finish_write (view : state Stack.scheme_view) st cnt =
   st.results_rev <- cnt :: st.results_rev;
   view.Stack.v_emit "counter.increment" (Format.asprintf "%a" Counter.pp cnt)
 
-let finish_read_only (view : state Stack.scheme_view) st result =
+let finish_read_only (view : Stack.scheme_view) st result =
   st.phase <- Idle;
   st.responses <- Pid.Map.empty;
   st.want_read <- false;
@@ -156,7 +149,7 @@ let finish_read_only (view : state Stack.scheme_view) st result =
     | Some c -> Format.asprintf "%a" Counter.pp c
     | None -> "bottom")
 
-let maybe_finish_read ~exhaust_bound (view : state Stack.scheme_view) st =
+let maybe_finish_read ~exhaust_bound (view : Stack.scheme_view) st =
   match st.phase with
   | Reading { rid = _; conf; read_only }
     when Pid.Map.cardinal st.responses >= majority conf -> (
@@ -198,16 +191,16 @@ let maybe_finish_read ~exhaust_bound (view : state Stack.scheme_view) st =
         end))
   | Idle | Reading _ | Writing _ -> []
 
-let maybe_finish_write (view : state Stack.scheme_view) st =
+let maybe_finish_write (view : Stack.scheme_view) st =
   match st.phase with
   | Writing { rid = _; conf; cnt } when Pid.Set.cardinal st.acks >= majority conf ->
     finish_write view st cnt;
     []
   | Idle | Reading _ | Writing _ -> []
 
-let tick ~in_transit_bound ~exhaust_bound (view : state Stack.scheme_view) st =
+let tick ~in_transit_bound ~exhaust_bound (view : Stack.scheme_view) st =
   let self = view.Stack.v_self in
-  match current_members view with
+  match Stack.View.current_members view with
   | None -> (st, []) (* reconfiguration taking place *)
   | Some members ->
     let is_member = Pid.Set.mem self members in
@@ -270,9 +263,9 @@ let tick ~in_transit_bound ~exhaust_bound (view : state Stack.scheme_view) st =
     let more' = maybe_finish_write view st in
     (st, !out @ more @ more')
 
-let recv ~in_transit_bound ~exhaust_bound (view : state Stack.scheme_view) ~from m st =
+let recv ~in_transit_bound ~exhaust_bound (view : Stack.scheme_view) ~from m st =
   let self = view.Stack.v_self in
-  let members_opt = current_members view in
+  let members_opt = Stack.View.current_members view in
   let is_member =
     match members_opt with Some ms -> Pid.Set.mem self ms | None -> false
   in

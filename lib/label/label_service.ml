@@ -8,14 +8,7 @@ type msg = {
   lm_last_sent : Label.pair option;
 }
 
-let current_members (view : 'a Stack.scheme_view) =
-  let recsa = view.Stack.v_recsa in
-  let trusted = view.Stack.v_trusted in
-  if Recsa.no_reco recsa ~trusted then
-    Config_value.to_set (Recsa.get_config recsa ~trusted)
-  else None
-
-let ensure_algo ~in_transit_bound (view : state Stack.scheme_view) st members =
+let ensure_algo ~in_transit_bound (view : Stack.scheme_view) st members =
   match st.algo with
   | Some algo when Pid.Set.equal (Label_algo.members algo) members -> Some algo
   | Some algo ->
@@ -30,8 +23,8 @@ let ensure_algo ~in_transit_bound (view : state Stack.scheme_view) st members =
     st.algo <- Some algo;
     Some algo
 
-let tick ~in_transit_bound (view : state Stack.scheme_view) st =
-  match current_members view with
+let tick ~in_transit_bound (view : Stack.scheme_view) st =
+  match Stack.View.current_members view with
   | None -> (st, []) (* reconfiguration taking place: no label traffic *)
   | Some members when not (Pid.Set.mem view.Stack.v_self members) -> (st, [])
   | Some members -> (
@@ -58,8 +51,8 @@ let tick ~in_transit_bound (view : state Stack.scheme_view) st =
       in
       (st, out))
 
-let recv ~in_transit_bound (view : state Stack.scheme_view) ~from m st =
-  match current_members view with
+let recv ~in_transit_bound (view : Stack.scheme_view) ~from m st =
+  match Stack.View.current_members view with
   | None -> (st, [])
   | Some members
     when (not (Pid.Set.mem view.Stack.v_self members))

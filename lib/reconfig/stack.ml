@@ -19,17 +19,123 @@ type 'app node_state = {
   joiner : bool;
 }
 
-type 'app scheme_view = {
+type scheme_view = {
   v_self : Pid.t;
   v_trusted : Pid.Set.t;
   v_recsa : Recsa.t;
   v_emit : string -> string -> unit;
+  v_now : float;
+  v_rng : Rng.t;
+  v_metrics : Metrics.t;
 }
 
-type ('app, 'msg) plugin = {
+(* --- derived views of the scheme state (Figure 1's getConfig()/noReco()
+   read interfaces), shared by every service plugin --- *)
+
+module View = struct
+  let current_members v =
+    if Recsa.no_reco v.v_recsa ~trusted:v.v_trusted then
+      Config_value.to_set (Recsa.get_config v.v_recsa ~trusted:v.v_trusted)
+    else None
+
+  let participants v = Recsa.participants v.v_recsa ~trusted:v.v_trusted
+  let config_set v = Config_value.to_set (Recsa.config v.v_recsa)
+
+  let is_member v =
+    match current_members v with
+    | Some members -> Pid.Set.mem v.v_self members
+    | None -> false
+end
+
+module Plugin = struct
+  type ('app, 'msg) t = {
+    p_init : Pid.t -> 'app;
+    p_tick : scheme_view -> 'app -> 'app * (Pid.t * 'msg) list;
+    p_recv : scheme_view -> from:Pid.t -> 'msg -> 'app -> 'app * (Pid.t * 'msg) list;
+    p_merge : self:Pid.t -> 'app -> 'app Pid.Map.t -> 'app;
+  }
+
+  let null =
+    {
+      p_init = (fun _ -> ());
+      p_tick = (fun _ app -> (app, []));
+      p_recv = (fun _ ~from:_ _ app -> (app, []));
+      p_merge = (fun ~self:_ app _ -> app);
+    }
+
+  let map ~state ~state_back ~msg ~msg_back p =
+    let out l = List.map (fun (d, m) -> (d, msg m)) l in
+    {
+      p_init = (fun pid -> state (p.p_init pid));
+      p_tick =
+        (fun v app ->
+          let a, l = p.p_tick v (state_back app) in
+          (state a, out l));
+      p_recv =
+        (fun v ~from m app ->
+          match msg_back m with
+          | None -> (app, [])
+          | Some m ->
+            let a, l = p.p_recv v ~from m (state_back app) in
+            (state a, out l));
+      p_merge =
+        (fun ~self app others ->
+          state (p.p_merge ~self (state_back app) (Pid.Map.map state_back others)));
+    }
+
+  let pair pa pb =
+    let fst_out l = List.map (fun (d, m) -> (d, `Fst m)) l in
+    let snd_out l = List.map (fun (d, m) -> (d, `Snd m)) l in
+    {
+      p_init = (fun pid -> (pa.p_init pid, pb.p_init pid));
+      p_tick =
+        (fun v (a, b) ->
+          let a', la = pa.p_tick v a in
+          let b', lb = pb.p_tick v b in
+          ((a', b'), fst_out la @ snd_out lb));
+      p_recv =
+        (fun v ~from m (a, b) ->
+          match m with
+          | `Fst m ->
+            let a', l = pa.p_recv v ~from m a in
+            ((a', b), fst_out l)
+          | `Snd m ->
+            let b', l = pb.p_recv v ~from m b in
+            ((a, b'), snd_out l));
+      p_merge =
+        (fun ~self (a, b) others ->
+          ( pa.p_merge ~self a (Pid.Map.map fst others),
+            pb.p_merge ~self b (Pid.Map.map snd others) ));
+    }
+
+  let stack ~lower ~get ~set ~wrap ~unwrap upper =
+    let out l = List.map (fun (d, m) -> (d, wrap m)) l in
+    {
+      p_init = (fun pid -> set (upper.p_init pid) (lower.p_init pid));
+      p_tick =
+        (fun v st ->
+          let a, la = lower.p_tick v (get st) in
+          let st = set st a in
+          let st, ua = upper.p_tick v st in
+          (st, out la @ ua));
+      p_recv =
+        (fun v ~from m st ->
+          match unwrap m with
+          | Some lm ->
+            let a, l = lower.p_recv v ~from lm (get st) in
+            (set st a, out l)
+          | None -> upper.p_recv v ~from m st);
+      p_merge =
+        (fun ~self st others ->
+          let a = lower.p_merge ~self (get st) (Pid.Map.map get others) in
+          upper.p_merge ~self (set st a) others);
+    }
+end
+
+type ('app, 'msg) plugin = ('app, 'msg) Plugin.t = {
   p_init : Pid.t -> 'app;
-  p_tick : 'app scheme_view -> 'app -> 'app * (Pid.t * 'msg) list;
-  p_recv : 'app scheme_view -> from:Pid.t -> 'msg -> 'app -> 'app * (Pid.t * 'msg) list;
+  p_tick : scheme_view -> 'app -> 'app * (Pid.t * 'msg) list;
+  p_recv : scheme_view -> from:Pid.t -> 'msg -> 'app -> 'app * (Pid.t * 'msg) list;
   p_merge : self:Pid.t -> 'app -> 'app Pid.Map.t -> 'app;
 }
 
@@ -39,13 +145,7 @@ type ('app, 'msg) hooks = {
   plugin : ('app, 'msg) plugin;
 }
 
-let null_plugin =
-  {
-    p_init = (fun _ -> ());
-    p_tick = (fun _ app -> (app, []));
-    p_recv = (fun _ ~from:_ _ app -> (app, []));
-    p_merge = (fun ~self:_ app _ -> app);
-  }
+let null_plugin = Plugin.null
 
 let unit_hooks =
   {
@@ -61,12 +161,6 @@ let default_eval_conf ?(fraction = 0.25) () ~self:_ ~trusted members =
     let missing = total - Pid.Set.cardinal (Pid.Set.inter members trusted) in
     float_of_int missing >= fraction *. float_of_int total
 
-type ('app, 'msg) t = {
-  eng : ('app node_state, ('app, 'msg) message) Engine.t;
-  hooks : ('app, 'msg) hooks;
-  directory : Pid.Set.t ref;
-}
-
 (* A joiner uses a link only once its cleaning handshake completed
    (Section 2: every established data link is initialized and cleaned
    straight after it is established). Gating is per link: a handshake with
@@ -80,24 +174,11 @@ let link_clean n peer =
   | Some s -> Datalink.Snap_link.phase s = Datalink.Snap_link.Clean_done
   | None -> false
 
-let send_counted ctx kind dst m =
-  Metrics.incr (Engine.metrics_of_ctx ctx) ("sent." ^ kind);
-  Engine.send ctx dst m
-
-(* protocol traffic is held back until the link's handshake completed *)
-let send_gated ctx n kind dst m =
-  if link_clean n dst then send_counted ctx kind dst m
-
-let view_of ctx n =
-  {
-    v_self = Engine.self ctx;
-    v_trusted = Detector.Theta_fd.trusted n.fd;
-    v_recsa = n.sa;
-    v_emit = Engine.emit ctx;
-  }
-
-(* a deterministic handshake instance identifier for the pair *)
-let snap_nonce ~self ~peer = (self * 1_000_003) + peer
+(* a deterministic handshake instance identifier for the pair: the two pids
+   packed side by side ([Pid.key_bits] each), collision-free over the whole
+   pid range — a multiplicative mix would collide once pids reach the
+   multiplier *)
+let snap_nonce ~self ~peer = (self lsl Pid.key_bits) lor peer
 
 let snap_instance ~capacity n ~self ~peer =
   match Pid.Map.find_opt peer n.snap with
@@ -110,130 +191,195 @@ let snap_instance ~capacity n ~self ~peer =
     n.snap <- Pid.Map.add peer s n.snap;
     s
 
-let behavior ~capacity ~n_bound ~theta ~quorum ~hooks ~members_set ~directory =
-  let init p =
-    let participant = Pid.Set.mem p members_set in
-    let joiner = not participant in
-    let n =
-      {
-        fd = Detector.Theta_fd.create ~n_bound ~theta ~self:p ();
-        sa =
-          Recsa.create ~self:p ~participant
-            ?initial_config:(if participant then Some members_set else None)
-            ();
-        ma = Recma.create ~self:p;
-        join = Join.create ~self:p;
-        app = hooks.plugin.p_init p;
-        seeds = Pid.Set.remove p !directory;
-        snap = Pid.Map.empty;
-        joiner;
-      }
+(* --- the protocol core, written once against the RUNTIME signature --- *)
+
+module Core (R : Runtime.S) = struct
+  let send_counted ctx kind dst m =
+    Metrics.incr (R.metrics ctx) ("sent." ^ kind);
+    R.send ctx dst m
+
+  (* protocol traffic is held back until the link's handshake completed *)
+  let send_gated ctx n kind dst m =
+    if link_clean n dst then send_counted ctx kind dst m
+
+  let view_of ctx n =
+    {
+      v_self = R.self ctx;
+      v_trusted = Detector.Theta_fd.trusted n.fd;
+      v_recsa = n.sa;
+      v_emit = R.emit ctx;
+      v_now = R.now ctx;
+      v_rng = R.rng ctx;
+      v_metrics = R.metrics ctx;
+    }
+
+  let driver ~capacity ~n_bound ~theta ~quorum ~hooks ~members_set ~directory =
+    let init p =
+      let participant = Pid.Set.mem p members_set in
+      let joiner = not participant in
+      let n =
+        {
+          fd = Detector.Theta_fd.create ~n_bound ~theta ~self:p ();
+          sa =
+            Recsa.create ~self:p ~participant
+              ?initial_config:(if participant then Some members_set else None)
+              ();
+          ma = Recma.create ~self:p;
+          join = Join.create ~self:p;
+          app = hooks.plugin.p_init p;
+          seeds = Pid.Set.remove p !directory;
+          snap = Pid.Map.empty;
+          joiner;
+        }
+      in
+      if joiner then
+        Pid.Set.iter (fun peer -> ignore (snap_instance ~capacity n ~self:p ~peer)) n.seeds;
+      n
     in
-    if joiner then
-      Pid.Set.iter (fun peer -> ignore (snap_instance ~capacity n ~self:p ~peer)) n.seeds;
-    n
-  in
-  let on_timer ctx n =
-    let self = Engine.self ctx in
-    (* flood pending cleaning handshakes *)
-    Pid.Map.iter
-      (fun peer s ->
-        match Datalink.Snap_link.on_tick s with
-        | Some m ->
-          (* keep the channel's pipe full: the handshake needs more than
-             the round-trip capacity of acknowledgments *)
-          for _ = 1 to max 1 (capacity / 2) do
-            send_counted ctx "snap" peer (Snap m)
-          done
-        | None -> ())
-      n.snap;
-    let trusted = Detector.Theta_fd.trusted n.fd in
-    let emit_all = List.iter (fun (tag, detail) -> Engine.emit ctx tag detail) in
-    (* recSA: one do-forever iteration, then the line-29 broadcast *)
-    emit_all (Recsa.tick n.sa ~trusted);
-    let sa_msgs = Recsa.broadcast n.sa ~trusted in
-    List.iter (fun (dst, m) -> send_gated ctx n "sa" dst (Sa m)) sa_msgs;
-    (* recMA *)
-    let ma_msgs, ma_events =
-      Recma.tick n.ma ~quorum ~trusted ~recsa:n.sa
-        ~eval_conf:(fun members -> hooks.eval_conf ~self ~trusted members)
-        ()
-    in
-    emit_all ma_events;
-    List.iter (fun (dst, m) -> send_gated ctx n "ma" dst (Ma m)) ma_msgs;
-    (* joining mechanism (joiner side) *)
-    let join_msgs, join_events =
-      Join.tick n.join ~quorum ~trusted ~recsa:n.sa
-        ~reset_vars:(fun () -> n.app <- hooks.plugin.p_init self)
-        ~init_vars:(fun states ->
-          n.app <- hooks.plugin.p_merge ~self n.app states)
-        ()
-    in
-    emit_all join_events;
-    List.iter (fun (dst, m) -> send_gated ctx n "join" dst (Join m)) join_msgs;
-    (* application plugin *)
-    let app', app_msgs = hooks.plugin.p_tick (view_of ctx n) n.app in
-    n.app <- app';
-    List.iter (fun (dst, m) -> send_gated ctx n "app" dst (App m)) app_msgs;
-    (* heartbeats (the data-link token) to every known processor not already
-       covered by a recSA broadcast *)
-    let covered = List.fold_left (fun acc (dst, _) -> Pid.Set.add dst acc) Pid.Set.empty sa_msgs in
-    let targets =
-      Pid.Set.union n.seeds (Detector.Theta_fd.known n.fd)
-      |> Pid.Set.remove self
-    in
-    Pid.Set.iter
-      (fun dst ->
-        if not (Pid.Set.mem dst covered) then send_gated ctx n "heartbeat" dst Heartbeat)
-      targets;
-    n
-  in
-  let on_message ctx from msg n =
-    (match msg with
-    | Snap m ->
-      let s = snap_instance ~capacity n ~self:(Engine.self ctx) ~peer:from in
-      let reply, completed = Datalink.Snap_link.on_msg s m in
-      (match reply with
-      | Some r -> send_counted ctx "snap" from (Snap r)
-      | None -> ());
-      (match completed with
-      | `Completed -> Engine.emit ctx "snap.clean" (Pid.to_string from)
-      | `Pending -> ())
-    | Heartbeat | Sa _ | Ma _ | Join _ | App _ ->
-      if link_clean n from then Detector.Theta_fd.heartbeat n.fd from);
-    (match msg with
-    | _ when not (link_clean n from) -> () (* link not yet cleaned *)
-    | Snap _ -> ()
-    | Heartbeat -> ()
-    | Sa m -> Recsa.receive n.sa ~from m
-    | Ma m -> Recma.receive n.ma ~from ~participant:(Recsa.is_participant n.sa) m
-    | Join (Join.Join_request) ->
+    let on_timer ctx n =
+      let self = R.self ctx in
+      (* flood pending cleaning handshakes *)
+      Pid.Map.iter
+        (fun peer s ->
+          match Datalink.Snap_link.on_tick s with
+          | Some m ->
+            (* keep the channel's pipe full: the handshake needs more than
+               the round-trip capacity of acknowledgments *)
+            for _ = 1 to max 1 (capacity / 2) do
+              send_counted ctx "snap" peer (Snap m)
+            done
+          | None -> ())
+        n.snap;
       let trusted = Detector.Theta_fd.trusted n.fd in
-      (match
-         Join.on_request n.join ~self_app:n.app ~from ~trusted ~recsa:n.sa
-           ~pass_query:(fun joiner ->
-             hooks.pass_query ~self:(Engine.self ctx) ~joiner)
-       with
-      | Some reply -> send_gated ctx n "join" from (Join reply)
-      | None -> ())
-    | Join (Join.Join_reply { pass; app }) ->
-      Join.on_reply n.join ~from ~participant:(Recsa.is_participant n.sa) ~pass ~app
-    | App m ->
-      let app', out = hooks.plugin.p_recv (view_of ctx n) ~from m n.app in
+      let emit_all = List.iter (fun (tag, detail) -> R.emit ctx tag detail) in
+      (* recSA: one do-forever iteration, then the line-29 broadcast *)
+      emit_all (Recsa.tick n.sa ~trusted);
+      let sa_msgs = Recsa.broadcast n.sa ~trusted in
+      List.iter (fun (dst, m) -> send_gated ctx n "sa" dst (Sa m)) sa_msgs;
+      (* recMA *)
+      let ma_msgs, ma_events =
+        Recma.tick n.ma ~quorum ~trusted ~recsa:n.sa
+          ~eval_conf:(fun members -> hooks.eval_conf ~self ~trusted members)
+          ()
+      in
+      emit_all ma_events;
+      List.iter (fun (dst, m) -> send_gated ctx n "ma" dst (Ma m)) ma_msgs;
+      (* joining mechanism (joiner side) *)
+      let join_msgs, join_events =
+        Join.tick n.join ~quorum ~trusted ~recsa:n.sa
+          ~reset_vars:(fun () -> n.app <- hooks.plugin.p_init self)
+          ~init_vars:(fun states ->
+            n.app <- hooks.plugin.p_merge ~self n.app states)
+          ()
+      in
+      emit_all join_events;
+      List.iter (fun (dst, m) -> send_gated ctx n "join" dst (Join m)) join_msgs;
+      (* application plugin *)
+      let app', app_msgs = hooks.plugin.p_tick (view_of ctx n) n.app in
       n.app <- app';
-      List.iter (fun (dst, m) -> send_gated ctx n "app" dst (App m)) out);
-    n
+      List.iter (fun (dst, m) -> send_gated ctx n "app" dst (App m)) app_msgs;
+      (* heartbeats (the data-link token) to every known processor not already
+         covered by a recSA broadcast *)
+      let covered = List.fold_left (fun acc (dst, _) -> Pid.Set.add dst acc) Pid.Set.empty sa_msgs in
+      let targets =
+        Pid.Set.union n.seeds (Detector.Theta_fd.known n.fd)
+        |> Pid.Set.remove self
+      in
+      Pid.Set.iter
+        (fun dst ->
+          if not (Pid.Set.mem dst covered) then send_gated ctx n "heartbeat" dst Heartbeat)
+        targets;
+      n
+    in
+    let on_message ctx from msg n =
+      (match msg with
+      | Snap m ->
+        let s = snap_instance ~capacity n ~self:(R.self ctx) ~peer:from in
+        let reply, completed = Datalink.Snap_link.on_msg s m in
+        (match reply with
+        | Some r -> send_counted ctx "snap" from (Snap r)
+        | None -> ());
+        (match completed with
+        | `Completed -> R.emit ctx "snap.clean" (Pid.to_string from)
+        | `Pending -> ())
+      | Heartbeat | Sa _ | Ma _ | Join _ | App _ ->
+        if link_clean n from then Detector.Theta_fd.heartbeat n.fd from);
+      (match msg with
+      | _ when not (link_clean n from) -> () (* link not yet cleaned *)
+      | Snap _ -> ()
+      | Heartbeat -> ()
+      | Sa m -> Recsa.receive n.sa ~from m
+      | Ma m -> Recma.receive n.ma ~from ~participant:(Recsa.is_participant n.sa) m
+      | Join (Join.Join_request) ->
+        let trusted = Detector.Theta_fd.trusted n.fd in
+        (match
+           Join.on_request n.join ~self_app:n.app ~from ~trusted ~recsa:n.sa
+             ~pass_query:(fun joiner ->
+               hooks.pass_query ~self:(R.self ctx) ~joiner)
+         with
+        | Some reply -> send_gated ctx n "join" from (Join reply)
+        | None -> ())
+      | Join (Join.Join_reply { pass; app }) ->
+        Join.on_reply n.join ~from ~participant:(Recsa.is_participant n.sa) ~pass ~app
+      | App m ->
+        let app', out = hooks.plugin.p_recv (view_of ctx n) ~from m n.app in
+        n.app <- app';
+        List.iter (fun (dst, m) -> send_gated ctx n "app" dst (App m)) out);
+      n
+    in
+    { Runtime.d_init = init; d_timer = on_timer; d_recv = on_message }
+end
+
+(* --- runtime-agnostic observation over collections of node states --- *)
+
+let config_views_of nodes = List.map (fun (p, n) -> (p, Recsa.config n.sa)) nodes
+
+let uniform_config_of nodes =
+  let participant_configs =
+    List.filter_map
+      (fun (_, n) ->
+        match Recsa.config n.sa with
+        | Config_value.Not_participant -> None
+        | v -> Some v)
+      nodes
   in
-  { Engine.init; on_timer; on_message }
+  match participant_configs with
+  | [] -> None
+  | first :: rest ->
+    if List.for_all (Config_value.equal first) rest then Config_value.to_set first
+    else None
+
+let quiescent_of nodes =
+  match uniform_config_of nodes with
+  | None -> false
+  | Some _ ->
+    List.for_all
+      (fun (_, n) ->
+        (not (Recsa.is_participant n.sa))
+        || Recsa.no_reco n.sa ~trusted:(Detector.Theta_fd.trusted n.fd))
+      nodes
+
+(* --- the simulated system: the core driven by Sim.Engine --- *)
+
+module Sim_core = Core (Runtime.Sim_engine)
+
+type ('app, 'msg) t = {
+  eng : ('app node_state, ('app, 'msg) message) Engine.t;
+  hooks : ('app, 'msg) hooks;
+  directory : Pid.Set.t ref;
+}
 
 let create ?(seed = 42) ?(capacity = 8) ?(loss = 0.02) ?(theta = 4)
     ?(quorum = (module Quorum.Majority : Quorum.SYSTEM)) ~n_bound ~hooks ~members () =
   let members_set = Pid.set_of_list members in
   let directory = ref members_set in
-  let behavior =
-    behavior ~capacity ~n_bound ~theta ~quorum ~hooks ~members_set ~directory
+  let driver =
+    Sim_core.driver ~capacity ~n_bound ~theta ~quorum ~hooks ~members_set ~directory
   in
-  let eng = Engine.create ~seed ~capacity ~loss ~behavior ~pids:members () in
+  let eng =
+    Engine.create ~seed ~capacity ~loss ~behavior:(Runtime.sim_behavior driver)
+      ~pids:members ()
+  in
   { eng; hooks; directory }
 
 let engine t = t.eng
@@ -248,33 +394,9 @@ let live_nodes t =
   List.map (fun p -> (p, Engine.state t.eng p)) (Engine.live_pids t.eng)
 
 let trusted_of t p = Detector.Theta_fd.trusted (node t p).fd
-let config_views t = List.map (fun (p, n) -> (p, Recsa.config n.sa)) (live_nodes t)
-
-let uniform_config t =
-  let participant_configs =
-    List.filter_map
-      (fun (_, n) ->
-        match Recsa.config n.sa with
-        | Config_value.Not_participant -> None
-        | v -> Some v)
-      (live_nodes t)
-  in
-  match participant_configs with
-  | [] -> None
-  | first :: rest ->
-    if List.for_all (Config_value.equal first) rest then Config_value.to_set first
-    else None
-
-let quiescent t =
-  match uniform_config t with
-  | None -> false
-  | Some _ ->
-    List.for_all
-      (fun (_, n) ->
-        (not (Recsa.is_participant n.sa))
-        || Recsa.no_reco n.sa ~trusted:(Detector.Theta_fd.trusted n.fd))
-      (live_nodes t)
-
+let config_views t = config_views_of (live_nodes t)
+let uniform_config t = uniform_config_of (live_nodes t)
+let quiescent t = quiescent_of (live_nodes t)
 let sum_over t f = List.fold_left (fun acc (_, n) -> acc + f n) 0 (live_nodes t)
 let total_resets t = sum_over t (fun n -> Recsa.reset_count n.sa)
 let total_installs t = sum_over t (fun n -> Recsa.install_count n.sa)

@@ -1,10 +1,18 @@
 (** The full reconfiguration scheme as a single "black box" (Figure 1):
-    (N,Θ)-failure detector + recSA + recMA + joining mechanism, wired into a
-    {!Sim.Engine} behavior, with a pluggable application on top.
+    (N,Θ)-failure detector + recSA + recMA + joining mechanism, with a
+    pluggable application on top.
+
+    The protocol core is engine-agnostic: {!Core} builds the node automaton
+    against any runtime implementing the RUNTIME signature
+    ({!Runtime.S}) — the discrete-event simulator ({!Runtime.Sim_engine})
+    or the real-time event loop ({!Runtime.Loop}, see [Stack_loop]). The
+    [('app, 'msg) t] API below is the simulator-backed system used by the
+    tests and the experiment harness.
 
     ['app] is the application state (replicated to joiners by the joining
     mechanism); ['msg] is the application's own message type. The services
-    of Section 4 (labeling, counters, virtual synchrony) are plugins. *)
+    of Section 4 (labeling, counters, virtual synchrony) are plugins,
+    composed with the {!Plugin} combinators. *)
 
 open Sim
 
@@ -31,23 +39,92 @@ type 'app node_state = {
 }
 
 (** Read-only view of the scheme handed to the application plugin — the
-    [getConfig()] / [noReco()] interfaces of Figure 1. *)
-type 'app scheme_view = {
+    [getConfig()] / [noReco()] interfaces of Figure 1, enriched with the
+    executing runtime's clock, randomness and metrics. *)
+type scheme_view = {
   v_self : Pid.t;
   v_trusted : Pid.Set.t;
   v_recsa : Recsa.t;
   v_emit : string -> string -> unit;  (** trace emission *)
+  v_now : float;  (** the runtime's current time *)
+  v_rng : Rng.t;  (** the runtime's random source *)
+  v_metrics : Metrics.t;  (** shared metrics registry *)
 }
 
-(** Application plugin: ticked after the scheme layers on every timer step;
-    receives every [App] message. Both return messages to send. *)
-type ('app, 'msg) plugin = {
+(** Derived read-only views of the scheme state, shared by all service
+    plugins (previously duplicated per service). *)
+module View : sig
+  (** [current_members v] — the configuration member set while no
+      reconfiguration is taking place, [None] during reconfigurations. *)
+  val current_members : scheme_view -> Pid.Set.t option
+
+  (** The trusted participants (getConfig ∪ prospective members ∩ FD). *)
+  val participants : scheme_view -> Pid.Set.t
+
+  (** The raw configuration value as a set, reconfiguring or not. *)
+  val config_set : scheme_view -> Pid.Set.t option
+
+  (** [is_member v] — is this node a member of the stable configuration? *)
+  val is_member : scheme_view -> bool
+end
+
+(** Application plugins: ticked after the scheme layers on every timer
+    step; receive every [App] message. Both return messages to send. *)
+module Plugin : sig
+  type ('app, 'msg) t = {
+    p_init : Pid.t -> 'app;
+    p_tick : scheme_view -> 'app -> 'app * (Pid.t * 'msg) list;
+    p_recv : scheme_view -> from:Pid.t -> 'msg -> 'app -> 'app * (Pid.t * 'msg) list;
+    p_merge : self:Pid.t -> 'app -> 'app Pid.Map.t -> 'app;
+        (** [initVars]: combine members' states into a fresh participant's
+            state when joining completes *)
+  }
+
+  (** A do-nothing plugin for running the bare reconfiguration scheme. *)
+  val null : (unit, unit) t
+
+  (** [map ~state ~state_back ~msg ~msg_back p] transports [p] across a
+      state isomorphism and a message embedding. [msg_back] is a partial
+      inverse: messages it maps to [None] are dropped on receipt. With
+      identity functions, [map] is the identity (the functor law tested in
+      the suite). *)
+  val map :
+    state:('a -> 'b) ->
+    state_back:('b -> 'a) ->
+    msg:('ma -> 'mb) ->
+    msg_back:('mb -> 'ma option) ->
+    ('a, 'ma) t ->
+    ('b, 'mb) t
+
+  (** [pair pa pb] runs two independent plugins side by side: [pa] ticks
+      first and its messages precede [pb]'s; receipts are routed by the
+      [`Fst]/[`Snd] tag. *)
+  val pair :
+    ('a, 'ma) t -> ('b, 'mb) t -> ('a * 'b, [ `Fst of 'ma | `Snd of 'mb ]) t
+
+  (** [stack ~lower ~get ~set ~wrap ~unwrap upper] layers [upper] over
+      [lower], with [lower]'s state embedded in [upper]'s through the
+      [get]/[set] lens and its messages embedded through [wrap]/[unwrap].
+      Each tick runs [lower] first (its messages precede [upper]'s, and
+      [upper] observes the post-tick lower state); receipts that [unwrap]
+      recognizes go to [lower] alone, all others to [upper]. This is how
+      the register and virtual-synchrony services embed the counter
+      service. *)
+  val stack :
+    lower:('a, 'ma) t ->
+    get:('b -> 'a) ->
+    set:('b -> 'a -> 'b) ->
+    wrap:('ma -> 'mb) ->
+    unwrap:('mb -> 'ma option) ->
+    ('b, 'mb) t ->
+    ('b, 'mb) t
+end
+
+type ('app, 'msg) plugin = ('app, 'msg) Plugin.t = {
   p_init : Pid.t -> 'app;
-  p_tick : 'app scheme_view -> 'app -> 'app * (Pid.t * 'msg) list;
-  p_recv : 'app scheme_view -> from:Pid.t -> 'msg -> 'app -> 'app * (Pid.t * 'msg) list;
+  p_tick : scheme_view -> 'app -> 'app * (Pid.t * 'msg) list;
+  p_recv : scheme_view -> from:Pid.t -> 'msg -> 'app -> 'app * (Pid.t * 'msg) list;
   p_merge : self:Pid.t -> 'app -> 'app Pid.Map.t -> 'app;
-      (** [initVars]: combine members' states into a fresh participant's
-          state when joining completes *)
 }
 
 type ('app, 'msg) hooks = {
@@ -58,7 +135,7 @@ type ('app, 'msg) hooks = {
   plugin : ('app, 'msg) plugin;
 }
 
-(** A do-nothing plugin for running the bare reconfiguration scheme. *)
+(** Alias of {!Plugin.null}. *)
 val null_plugin : (unit, unit) plugin
 
 (** Never asks for reconfiguration; always passes joiners; null plugin. *)
@@ -69,6 +146,43 @@ val unit_hooks : (unit, unit) hooks
     untrusted. *)
 val default_eval_conf :
   ?fraction:float -> unit -> self:Pid.t -> trusted:Pid.Set.t -> Pid.Set.t -> bool
+
+(** [snap_nonce ~self ~peer] — deterministic handshake instance identifier
+    for the directed link [self → peer]: the two pids packed side by side
+    ({!Sim.Pid.key_bits} bits each), so distinct pairs always get distinct
+    nonces. *)
+val snap_nonce : self:Pid.t -> peer:Pid.t -> int
+
+(** {2 The engine-agnostic protocol core} *)
+
+(** [Core (R)] builds the scheme's node automaton for any runtime [R]
+    implementing the RUNTIME signature. *)
+module Core (R : Runtime.S) : sig
+  val driver :
+    capacity:int ->
+    n_bound:int ->
+    theta:int ->
+    quorum:(module Quorum.SYSTEM) ->
+    hooks:('app, 'msg) hooks ->
+    members_set:Pid.Set.t ->
+    directory:Pid.Set.t ref ->
+    ('app node_state, ('app, 'msg) message, ('app, 'msg) message R.ctx)
+    Runtime.driver
+  (** [directory] is read at node-init time: a node created after system
+      start treats the processors then present as its seeds and runs the
+      cleaning handshake against them. *)
+end
+
+(** {2 Runtime-agnostic observation}
+
+    These fold over any [(pid, node_state)] collection, so every runtime's
+    harness can share them. *)
+
+val config_views_of : (Pid.t * 'app node_state) list -> (Pid.t * Config_value.t) list
+val uniform_config_of : (Pid.t * 'app node_state) list -> Pid.Set.t option
+val quiescent_of : (Pid.t * 'app node_state) list -> bool
+
+(** {2 The simulator-backed system} *)
 
 type ('app, 'msg) t
 (** A simulated system running the scheme on every node. *)

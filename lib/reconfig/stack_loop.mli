@@ -1,0 +1,50 @@
+(** The identical protocol stack ({!Stack.Core}) executed by the real-time
+    event loop runtime ({!Runtime.Loop}) instead of the simulator — the
+    proof that the core is engine-agnostic, and the stepping stone toward a
+    socket-backed runtime.
+
+    The API mirrors the observation/driving subset of {!Stack}; fault
+    injection is simulator-only. *)
+
+open Sim
+
+type ('app, 'msg) t
+
+val create :
+  ?seed:int ->
+  ?capacity:int ->
+  ?theta:int ->
+  ?quorum:(module Quorum.SYSTEM) ->
+  ?clock:(unit -> float) ->
+  n_bound:int ->
+  hooks:('app, 'msg) Stack.hooks ->
+  members:Pid.t list ->
+  unit ->
+  ('app, 'msg) t
+(** Same configuration surface as {!Stack.create} minus the simulator-only
+    channel knobs ([loss]); [clock] is forwarded to {!Runtime.Loop.create}. *)
+
+(** The underlying loop runtime (for trace/metrics/round access). *)
+val loop :
+  ('app, 'msg) t -> ('app Stack.node_state, ('app, 'msg) Stack.message) Runtime.Loop.t
+
+val add_joiner : ('app, 'msg) t -> Pid.t -> unit
+
+(** {2 Observation} *)
+
+val node : ('app, 'msg) t -> Pid.t -> 'app Stack.node_state
+val live_nodes : ('app, 'msg) t -> (Pid.t * 'app Stack.node_state) list
+val trusted_of : ('app, 'msg) t -> Pid.t -> Pid.Set.t
+val config_views : ('app, 'msg) t -> (Pid.t * Config_value.t) list
+val uniform_config : ('app, 'msg) t -> Pid.Set.t option
+val quiescent : ('app, 'msg) t -> bool
+
+(** {2 Driving} *)
+
+val run_rounds : ('app, 'msg) t -> int -> unit
+
+(** [run_until_quiescent t ~max_rounds] — rounds consumed until
+    {!quiescent}, or [None] on timeout. *)
+val run_until_quiescent : ('app, 'msg) t -> max_rounds:int -> int option
+
+val crash : ('app, 'msg) t -> Pid.t -> unit

@@ -79,13 +79,6 @@ let merge_entry st reg (entry : tagged) =
     ()
   | Some _ | None -> st.store <- Reg_map.add reg entry st.store
 
-let current_members (view : 'a Stack.scheme_view) =
-  let recsa = view.Stack.v_recsa in
-  let trusted = view.Stack.v_trusted in
-  if Recsa.no_reco recsa ~trusted then
-    Config_value.to_set (Recsa.get_config recsa ~trusted)
-  else None
-
 let majority conf = Quorum.majority_threshold (Pid.Set.cardinal conf)
 
 let abort_op st =
@@ -107,7 +100,7 @@ let finish st outcome =
 
 (* Send the current phase's requests to the processors that have not yet
    answered (also serves as per-tick retransmission). *)
-let outstanding_messages (view : 'a Stack.scheme_view) st =
+let outstanding_messages (view : Stack.scheme_view) st =
   let self = view.Stack.v_self in
   let to_others conf covered m =
     Pid.Set.fold
@@ -125,11 +118,11 @@ let outstanding_messages (view : 'a Stack.scheme_view) st =
   | Updating u ->
     (* updates also refresh every trusted participant's copy so prospective
        members carry the state into the next configuration *)
-    let part = Recsa.participants view.Stack.v_recsa ~trusted:view.Stack.v_trusted in
+    let part = Stack.View.participants view in
     let targets = Pid.Set.union u.conf part in
     to_others targets u.acks (Update { mid = u.mid; reg = u.reg; entry = u.entry })
 
-let start_update (view : 'a Stack.scheme_view) st ~rid ~reg ~entry ~conf ~kind =
+let start_update (view : Stack.scheme_view) st ~rid ~reg ~entry ~conf ~kind =
   let mid = st.next_mid in
   st.next_mid <- st.next_mid + 1;
   let self = view.Stack.v_self in
@@ -141,7 +134,7 @@ let start_update (view : 'a Stack.scheme_view) st ~rid ~reg ~entry ~conf ~kind =
   | _ -> ());
   ()
 
-let maybe_finish (view : 'a Stack.scheme_view) st =
+let maybe_finish (view : Stack.scheme_view) st =
   match st.op with
   | Idle | Get_tag _ -> ()
   | Querying q when Pid.Map.cardinal q.resps >= majority q.conf ->
@@ -171,21 +164,12 @@ let maybe_finish (view : 'a Stack.scheme_view) st =
       finish st (Read { rid = u.rid; reg = u.reg; result }))
   | Updating _ -> ()
 
-let coerce_view (v : 'a Stack.scheme_view) : 'b Stack.scheme_view =
-  {
-    Stack.v_self = v.Stack.v_self;
-    v_trusted = v.Stack.v_trusted;
-    v_recsa = v.Stack.v_recsa;
-    v_emit = v.Stack.v_emit;
-  }
-
-let tick counter_plugin (view : state Stack.scheme_view) st =
-  let out = ref [] in
-  (* the embedded counter service provides write tags *)
-  let cnt', cmsgs = counter_plugin.Stack.p_tick (coerce_view view) st.cnt in
-  st.cnt <- cnt';
-  List.iter (fun (dst, m) -> out := (dst, Cnt m) :: !out) cmsgs;
-  (match current_members view with
+(* The register logic alone; the embedded counter service (write-tag
+   provider) is layered underneath via {!Stack.Plugin.stack}, which runs
+   its tick first — so [st.cnt] is already up to date here — and routes
+   every [Cnt] message to it. *)
+let tick (view : Stack.scheme_view) st =
+  (match Stack.View.current_members view with
   | None -> () (* reconfiguration in progress: hold *)
   | Some conf -> (
     (* start the next queued operation *)
@@ -222,20 +206,17 @@ let tick counter_plugin (view : state Stack.scheme_view) st =
       end
     | Idle | Querying _ | Updating _ -> ()));
   maybe_finish view st;
-  List.iter (fun (dst, m) -> out := (dst, m) :: !out) (outstanding_messages view st);
-  (st, List.rev !out)
+  (st, outstanding_messages view st)
 
-let recv counter_plugin (view : state Stack.scheme_view) ~from m st =
-  let self = view.Stack.v_self in
-  let members_opt = current_members view in
+let recv (view : Stack.scheme_view) ~from m st =
+  let members_opt = Stack.View.current_members view in
   let is_member =
-    match members_opt with Some c -> Pid.Set.mem self c | None -> false
+    match members_opt with
+    | Some c -> Pid.Set.mem view.Stack.v_self c
+    | None -> false
   in
   match m with
-  | Cnt cm ->
-    let cnt', cmsgs = counter_plugin.Stack.p_recv (coerce_view view) ~from cm st.cnt in
-    st.cnt <- cnt';
-    (st, List.map (fun (dst, m) -> (dst, Cnt m)) cmsgs)
+  | Cnt _ -> (st, []) (* routed to the counter layer by Plugin.stack *)
   | Query { mid; reg } ->
     if is_member then (st, [ (from, Query_resp { mid; entry = Reg_map.find_opt reg st.store }) ])
     else (st, [ (from, Op_abort { mid }) ])
@@ -279,22 +260,32 @@ let merge_states ~self:_ st others =
 
 let plugin ?(in_transit_bound = 8) ?(exhaust_bound = 1 lsl 30) () =
   let counter_plugin = Counter_service.plugin ~in_transit_bound ~exhaust_bound in
-  {
-    Stack.p_init =
-      (fun p ->
-        {
-          cnt = counter_plugin.Stack.p_init p;
-          store = Reg_map.empty;
-          op = Idle;
-          queue = [];
-          outcomes_rev = [];
-          abort_count = 0;
-          next_mid = 0;
-        });
-    p_tick = (fun view st -> tick counter_plugin view st);
-    p_recv = (fun view ~from m st -> recv counter_plugin view ~from m st);
-    p_merge = merge_states;
-  }
+  let upper =
+    {
+      Stack.p_init =
+        (fun p ->
+          {
+            cnt = counter_plugin.Stack.p_init p;
+            store = Reg_map.empty;
+            op = Idle;
+            queue = [];
+            outcomes_rev = [];
+            abort_count = 0;
+            next_mid = 0;
+          });
+      p_tick = tick;
+      p_recv = recv;
+      p_merge = merge_states;
+    }
+  in
+  Stack.Plugin.stack ~lower:counter_plugin
+    ~get:(fun st -> st.cnt)
+    ~set:(fun st c ->
+      st.cnt <- c;
+      st)
+    ~wrap:(fun m -> Cnt m)
+    ~unwrap:(function Cnt m -> Some m | _ -> None)
+    upper
 
 let hooks ?in_transit_bound ?exhaust_bound () =
   {

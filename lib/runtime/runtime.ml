@@ -1,0 +1,18 @@
+(* Umbrella module of the ssreconf.runtime library: re-exports the RUNTIME
+   signature and driver type ({!Runtime_intf}), the simulator adapter, and
+   the real-time {!Loop} runtime, so consumers write [Runtime.S],
+   [Runtime.Sim_engine], [Runtime.Loop]. *)
+
+module type S = Runtime_intf.S
+
+type ('s, 'm, 'ctx) driver = ('s, 'm, 'ctx) Runtime_intf.driver = {
+  d_init : Sim.Pid.t -> 's;
+  d_timer : 'ctx -> 's -> 's;
+  d_recv : 'ctx -> Sim.Pid.t -> 'm -> 's -> 's;
+}
+
+module Sim_engine = Runtime_intf.Sim_engine
+
+let sim_behavior = Runtime_intf.sim_behavior
+
+module Loop = Loop

@@ -38,7 +38,7 @@ type ('s, 'm) node = {
 (* Directed links are keyed by a single int packing both endpoints, so the
    per-send/per-delivery channel lookups hash an immediate int instead of
    allocating a (src, dst) tuple. Pids must fit in [key_bits] bits. *)
-let key_bits = 30
+let key_bits = Pid.key_bits
 let key_mask = (1 lsl key_bits) - 1
 
 let link_key ~src ~dst =

@@ -13,6 +13,11 @@
     ([set_state]/[corrupt_states]) and channel contents
     ([corrupt_channel]); crashes by [crash]; joins by [add_node]. *)
 
+(** Width, in bits, of a pid as packed into directed-link keys — re-exported
+    {!Pid.key_bits}. Every pid handed to the engine must be in
+    [\[0, 2^key_bits)]. *)
+val key_bits : int
+
 type 'm ctx
 (** Per-step context handed to behaviors. *)
 

@@ -1,5 +1,7 @@
 type t = int
 
+let key_bits = 30
+
 let compare = Int.compare
 let equal = Int.equal
 let pp = Format.pp_print_int

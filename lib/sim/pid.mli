@@ -5,6 +5,12 @@
 
 type t = int
 
+(** Identifiers must fit in [key_bits] bits (currently 30): two of them can
+    then be packed side by side into one OCaml [int] to form collision-free
+    link keys and handshake nonces (see {!Engine} and
+    [Reconfig.Stack.snap_nonce]). *)
+val key_bits : int
+
 val compare : t -> t -> int
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

@@ -62,14 +62,6 @@ let round_of st = st.me.r_rnd
 let suspended st = st.me.r_suspend
 let installs st = st.view_installs
 
-let coerce_view (v : 'a Stack.scheme_view) : 'b Stack.scheme_view =
-  {
-    Stack.v_self = v.Stack.v_self;
-    v_trusted = v.Stack.v_trusted;
-    v_recsa = v.Stack.v_recsa;
-    v_emit = v.Stack.v_emit;
-  }
-
 let fresh_report initial =
   {
     r_view = bottom_view;
@@ -83,21 +75,15 @@ let fresh_report initial =
     r_suspend = false;
   }
 
-let participants (v : 'a Stack.scheme_view) =
-  Recsa.participants v.Stack.v_recsa ~trusted:v.Stack.v_trusted
-
-let config_set (v : 'a Stack.scheme_view) =
-  Config_value.to_set (Recsa.config v.Stack.v_recsa)
-
 (* seemCrd / valCrd (lines 6-7): a report is a coordinator candidate when
    its proposed view is identified by a counter written by its owner, the
    owner belongs to the proposed set, and the proposed set contains a
    majority of the current configuration. *)
-let candidates (v : 'a Stack.scheme_view) st =
-  match config_set v with
+let candidates (v : Stack.scheme_view) st =
+  match Stack.View.config_set v with
   | None -> []
   | Some config ->
-    let part = participants v in
+    let part = Stack.View.participants v in
     let consider owner (r : ('st, 'cmd) report) acc =
       match r.r_propv.vid with
       | Some c
@@ -113,7 +99,7 @@ let candidates (v : 'a Stack.scheme_view) st =
       (fun p r acc -> if Pid.Set.mem p part then consider p r acc else acc)
       st.peers acc
 
-let valid_coordinator (v : 'a Stack.scheme_view) st =
+let valid_coordinator (v : Stack.scheme_view) st =
   List.fold_left
     (fun best (owner, c, r) ->
       match best with
@@ -132,7 +118,7 @@ let fetch st =
 
 (* synchState/synchMsgs: adopt the most advanced replica among the reports
    of the proposed view's members. *)
-let synch_state (v : 'a Stack.scheme_view) st vset =
+let synch_state (v : Stack.scheme_view) st vset =
   let key (r : ('st, 'cmd) report) =
     let vid_key =
       match r.r_view.vid with None -> (-1, -1, -1) | Some c -> (c.Counter.seqn, c.Counter.wid, 0)
@@ -155,7 +141,7 @@ let apply_batch machine st batch =
   List.fold_left (fun acc (_, cmd) -> machine.apply acc cmd) st.me.r_replica sorted
 
 (* Follower adoption of the coordinator's report (lines 18-23). *)
-let follow machine (v : 'a Stack.scheme_view) st (crd : Pid.t) (rep : ('st, 'cmd) report) =
+let follow machine (v : Stack.scheme_view) st (crd : Pid.t) (rep : ('st, 'cmd) report) =
   (* a Propose/Install report for a view we already entered is a stale
      (reordered or duplicated) packet; ignore it *)
   let already_entered = view_equal st.me.r_view rep.r_propv && st.me.r_status = Multicast in
@@ -237,7 +223,7 @@ let follow machine (v : 'a Stack.scheme_view) st (crd : Pid.t) (rep : ('st, 'cmd
       st.me <- { st.me with r_suspend = rep.r_suspend }
 
 (* Coordinator logic for one tick. *)
-let coordinate machine ~eval_config (v : 'a Stack.scheme_view) st =
+let coordinate machine ~eval_config (v : Stack.scheme_view) st =
   let self = v.Stack.v_self in
   let no_reco = Recsa.no_reco v.Stack.v_recsa ~trusted:v.Stack.v_trusted in
   let echoes_propose vset =
@@ -299,7 +285,7 @@ let coordinate machine ~eval_config (v : 'a Stack.scheme_view) st =
       (* Algorithm 4.6: the coordinator alone decides on delicate
          reconfiguration *)
       let members =
-        match config_set v with Some s -> s | None -> Pid.Set.empty
+        match Stack.View.config_set v with Some s -> s | None -> Pid.Set.empty
       in
       let wants_reconf =
         eval_config ~self ~trusted:v.Stack.v_trusted members
@@ -328,11 +314,11 @@ let coordinate machine ~eval_config (v : 'a Stack.scheme_view) st =
         in
         if all_suspended then st.reconf_ready <- true;
         if st.reconf_ready then begin
-          let proposal = participants v in
+          let proposal = Stack.View.participants v in
           let useful =
             (not (Pid.Set.is_empty proposal))
             &&
-            match config_set v with
+            match Stack.View.config_set v with
             | Some c -> not (Pid.Set.equal c proposal)
             | None -> false
           in
@@ -384,11 +370,11 @@ let coordinate machine ~eval_config (v : 'a Stack.scheme_view) st =
     end
 
 (* Should this node propose itself as coordinator? *)
-let should_propose (v : 'a Stack.scheme_view) st =
-  match config_set v with
+let should_propose (v : Stack.scheme_view) st =
+  match Stack.View.config_set v with
   | None -> false
   | Some config ->
-    let part = participants v in
+    let part = Stack.View.participants v in
     let majority_visible = Quorum.has_majority ~config v.Stack.v_trusted in
     if not majority_visible then false
     else begin
@@ -414,18 +400,16 @@ let should_propose (v : 'a Stack.scheme_view) st =
         && not (Pid.Set.equal st.me.r_view.vset part)
     end
 
-let vs_tick machine ~eval_config counter_plugin (v : ('st, 'cmd) state Stack.scheme_view)
-    st =
+(* The virtual-synchrony logic alone; the embedded counter service (the
+   inc() provider) is layered underneath via {!Stack.Plugin.stack}, which
+   runs its tick first — so [Counter_service.results st.cnt] is current
+   here — and routes every [Cnt] message to it. *)
+let vs_tick machine ~eval_config (v : Stack.scheme_view) st =
   let self = v.Stack.v_self in
   let out = ref [] in
-  (* 1. run the embedded counter service (the inc() provider) *)
-  let cview = coerce_view v in
-  let cnt', cmsgs = counter_plugin.Stack.p_tick cview st.cnt in
-  st.cnt <- cnt';
-  List.iter (fun (dst, m) -> out := (dst, Cnt m) :: !out) cmsgs;
   if Recsa.is_participant v.Stack.v_recsa then begin
-    let part = participants v in
-    (* 2. track coordinator existence *)
+    let part = Stack.View.participants v in
+    (* 1. track coordinator existence *)
     let val_crd = valid_coordinator v st in
     let no_crd = val_crd = None in
     if no_crd <> st.me.r_no_crd then st.me <- { st.me with r_no_crd = no_crd };
@@ -433,7 +417,7 @@ let vs_tick machine ~eval_config counter_plugin (v : ('st, 'cmd) state Stack.sch
       (match val_crd with
       | Some (owner, _, _) -> Pid.equal owner self
       | None -> false);
-    (* 3. proposals: obtain a view identifier from the counter service,
+    (* 2. proposals: obtain a view identifier from the counter service,
        then switch to Propose *)
     let no_reco = Recsa.no_reco v.Stack.v_recsa ~trusted:v.Stack.v_trusted in
     (match st.awaiting_vid with
@@ -459,7 +443,7 @@ let vs_tick machine ~eval_config counter_plugin (v : ('st, 'cmd) state Stack.sch
         Counter_service.request_increment st.cnt;
         st.awaiting_vid <- Some (List.length (Counter_service.results st.cnt))
       end);
-    (* 4. refill the input slot so the coordinator sees pending commands
+    (* 3. refill the input slot so the coordinator sees pending commands
        (fetch(), line 15/22) *)
     (if
        st.me.r_status = Multicast && (not st.me.r_suspend) && st.me.r_input = None
@@ -467,7 +451,7 @@ let vs_tick machine ~eval_config counter_plugin (v : ('st, 'cmd) state Stack.sch
        match fetch st with
        | Some _ as input -> st.me <- { st.me with r_input = input }
        | None -> ());
-    (* 5. act as coordinator or follower *)
+    (* 4. act as coordinator or follower *)
     (match val_crd with
     | Some (owner, _, _) when Pid.equal owner self -> coordinate machine ~eval_config v st
     | Some (owner, _, rep) -> if not (Pid.equal owner self) then follow machine v st owner rep
@@ -479,14 +463,11 @@ let vs_tick machine ~eval_config counter_plugin (v : ('st, 'cmd) state Stack.sch
   end;
   (st, List.rev !out)
 
-let vs_recv machine counter_plugin (v : ('st, 'cmd) state Stack.scheme_view) ~from m st =
+let vs_recv machine (v : Stack.scheme_view) ~from m st =
   ignore machine;
+  ignore v;
   match m with
-  | Cnt cm ->
-    let cview = coerce_view v in
-    let cnt', cmsgs = counter_plugin.Stack.p_recv cview ~from cm st.cnt in
-    st.cnt <- cnt';
-    (st, List.map (fun (dst, m) -> (dst, Cnt m)) cmsgs)
+  | Cnt _ -> (st, []) (* routed to the counter layer by Plugin.stack *)
   | Vs rep ->
     st.peers <- Pid.Map.add from rep st.peers;
     (st, [])
@@ -497,25 +478,35 @@ let plugin ~machine ?(eval_config = default_eval) () =
   let counter_plugin =
     Counter_service.plugin ~in_transit_bound:8 ~exhaust_bound:(1 lsl 30)
   in
-  {
-    Stack.p_init =
-      (fun p ->
-        {
-          cnt = counter_plugin.Stack.p_init p;
-          me = fresh_report machine.initial;
-          peers = Pid.Map.empty;
-          pending = [];
-          delivered_rev = [];
-          batches_rev = [];
-          awaiting_vid = None;
-          reconf_ready = false;
-          view_installs = 0;
-          i_am_coordinator = false;
-        });
-    p_tick = (fun v st -> vs_tick machine ~eval_config counter_plugin v st);
-    p_recv = (fun v ~from m st -> vs_recv machine counter_plugin v ~from m st);
-    p_merge = (fun ~self:_ st _ -> st);
-  }
+  let upper =
+    {
+      Stack.p_init =
+        (fun p ->
+          {
+            cnt = counter_plugin.Stack.p_init p;
+            me = fresh_report machine.initial;
+            peers = Pid.Map.empty;
+            pending = [];
+            delivered_rev = [];
+            batches_rev = [];
+            awaiting_vid = None;
+            reconf_ready = false;
+            view_installs = 0;
+            i_am_coordinator = false;
+          });
+      p_tick = (fun v st -> vs_tick machine ~eval_config v st);
+      p_recv = (fun v ~from m st -> vs_recv machine v ~from m st);
+      p_merge = (fun ~self:_ st _ -> st);
+    }
+  in
+  Stack.Plugin.stack ~lower:counter_plugin
+    ~get:(fun st -> st.cnt)
+    ~set:(fun st c ->
+      st.cnt <- c;
+      st)
+    ~wrap:(fun m -> Cnt m)
+    ~unwrap:(function Cnt m -> Some m | _ -> None)
+    upper
 
 let hooks ~machine ?eval_config () =
   {

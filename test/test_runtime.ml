@@ -1,0 +1,309 @@
+(* Tests for the engine-agnostic runtime layer: the snap-nonce packing, the
+   plugin combinators (map/pair/stack laws), the real-time loop runtime,
+   and the sim-vs-loop equivalence of the full stack. *)
+
+open Sim
+open Reconfig
+
+let set = Pid.set_of_list
+
+(* ------------------------------------------------------------------ *)
+(* snap_nonce                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_snap_nonce_regression () =
+  (* the old [self * 1_000_003 + peer] scheme collided exactly here *)
+  let n1 = Stack.snap_nonce ~self:1 ~peer:0 in
+  let n2 = Stack.snap_nonce ~self:0 ~peer:1_000_003 in
+  Alcotest.(check bool) "old colliding pair now distinct" true (n1 <> n2)
+
+let test_snap_nonce_injective () =
+  let pids = [ 0; 1; 2; 3; 17; 999; 1_000_002; 1_000_003; (1 lsl 20) + 5 ] in
+  let tbl = Hashtbl.create 128 in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun p ->
+          let n = Stack.snap_nonce ~self:s ~peer:p in
+          (match Hashtbl.find_opt tbl n with
+          | Some (s', p') ->
+            Alcotest.failf "nonce collision: (%d,%d) and (%d,%d) -> %d" s p s' p' n
+          | None -> ());
+          Hashtbl.add tbl n (s, p))
+        pids)
+    pids
+
+(* ------------------------------------------------------------------ *)
+(* Plugin combinators                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let dummy_view ?(self = 1) () =
+  {
+    Stack.v_self = self;
+    v_trusted = set [ 1; 2; 3 ];
+    v_recsa = Recsa.create ~self ~participant:true ();
+    v_emit = (fun _ _ -> ());
+    v_now = 0.0;
+    v_rng = Rng.create 1;
+    v_metrics = Metrics.create ();
+  }
+
+(* A plugin whose state is a newest-first log of everything that happened
+   to it, and whose tick always emits two tagged messages. *)
+let probe tag =
+  {
+    Stack.p_init = (fun pid -> [ Printf.sprintf "%s.init.%d" tag pid ]);
+    p_tick =
+      (fun _v log ->
+        (Printf.sprintf "%s.tick" tag :: log, [ (2, tag ^ ".m1"); (3, tag ^ ".m2") ]));
+    p_recv =
+      (fun _v ~from m log -> (Printf.sprintf "%s.recv.%d.%s" tag from m :: log, []));
+    p_merge = (fun ~self:_ log _ -> "merged" :: log);
+  }
+
+let test_map_identity () =
+  let p = probe "p" in
+  let q =
+    Stack.Plugin.map ~state:Fun.id ~state_back:Fun.id ~msg:Fun.id
+      ~msg_back:Option.some p
+  in
+  let v = dummy_view () in
+  Alcotest.(check (list string)) "init equal" (p.Stack.p_init 7) (q.Stack.p_init 7);
+  let st_p, out_p = p.Stack.p_tick v (p.Stack.p_init 1) in
+  let st_q, out_q = q.Stack.p_tick v (q.Stack.p_init 1) in
+  Alcotest.(check (list string)) "tick state equal" st_p st_q;
+  Alcotest.(check (list (pair int string))) "tick messages equal" out_p out_q;
+  let st_p, _ = p.Stack.p_recv v ~from:2 "x" st_p in
+  let st_q, _ = q.Stack.p_recv v ~from:2 "x" st_q in
+  Alcotest.(check (list string)) "recv state equal" st_p st_q
+
+let test_map_drops_unrecognized () =
+  let p = probe "p" in
+  let q =
+    Stack.Plugin.map ~state:Fun.id ~state_back:Fun.id ~msg:Fun.id
+      ~msg_back:(fun _ -> None)
+      p
+  in
+  let v = dummy_view () in
+  let st0 = q.Stack.p_init 1 in
+  let st, out = q.Stack.p_recv v ~from:2 "x" st0 in
+  Alcotest.(check (list string)) "state untouched" st0 st;
+  Alcotest.(check (list (pair int string))) "nothing sent" [] out
+
+let fst_snd_msg =
+  let pp fmt = function
+    | `Fst m -> Format.fprintf fmt "Fst %s" m
+    | `Snd m -> Format.fprintf fmt "Snd %s" m
+  in
+  Alcotest.testable pp ( = )
+
+let test_pair_ordering_and_routing () =
+  let pq = Stack.Plugin.pair (probe "a") (probe "b") in
+  let v = dummy_view () in
+  let st0 = pq.Stack.p_init 1 in
+  Alcotest.(check (pair (list string) (list string)))
+    "init is the product" ([ "a.init.1" ], [ "b.init.1" ]) st0;
+  let st, out = pq.Stack.p_tick v st0 in
+  (* left ticks first and its messages precede the right's *)
+  Alcotest.(check (list (pair int fst_snd_msg)))
+    "tick order: Fst before Snd"
+    [ (2, `Fst "a.m1"); (3, `Fst "a.m2"); (2, `Snd "b.m1"); (3, `Snd "b.m2") ]
+    out;
+  let (sa, sb), _ = pq.Stack.p_recv v ~from:5 (`Fst "hello") st in
+  Alcotest.(check (list string))
+    "Fst routed to the left" [ "a.recv.5.hello"; "a.tick"; "a.init.1" ] sa;
+  Alcotest.(check (list string)) "right untouched" [ "b.tick"; "b.init.1" ] sb
+
+let lo_hi_msg =
+  let pp fmt = function
+    | `Lo m -> Format.fprintf fmt "Lo %s" m
+    | `Hi m -> Format.fprintf fmt "Hi %s" m
+  in
+  Alcotest.testable pp ( = )
+
+(* upper state = (lower log, upper log); upper's tick records a snapshot of
+   the lower log so the lower-ticks-first contract is observable. *)
+let stacked () =
+  let upper =
+    {
+      Stack.p_init = (fun pid -> ([], [ Printf.sprintf "hi.init.%d" pid ]));
+      p_tick =
+        (fun _v (lo, hi) ->
+          let seen = Printf.sprintf "hi.tick(saw %d lo events)" (List.length lo) in
+          ((lo, seen :: hi), [ (9, `Hi "h1") ]));
+      p_recv =
+        (fun _v ~from m (lo, hi) ->
+          match m with
+          | `Hi s -> ((lo, Printf.sprintf "hi.recv.%d.%s" from s :: hi), [])
+          | `Lo _ -> ((lo, "hi.MUST_NOT_SEE_LO" :: hi), []));
+      p_merge = (fun ~self:_ st _ -> st);
+    }
+  in
+  Stack.Plugin.stack ~lower:(probe "lo")
+    ~get:(fun (lo, _) -> lo)
+    ~set:(fun (_, hi) lo -> (lo, hi))
+    ~wrap:(fun m -> `Lo m)
+    ~unwrap:(function `Lo m -> Some m | `Hi _ -> None)
+    upper
+
+let test_stack_ordering () =
+  let p = stacked () in
+  let v = dummy_view () in
+  let st0 = p.Stack.p_init 1 in
+  Alcotest.(check (list string)) "lower initialised" [ "lo.init.1" ] (fst st0);
+  let (lo, hi), out = p.Stack.p_tick v st0 in
+  Alcotest.(check (list (pair int lo_hi_msg)))
+    "wrapped lower messages precede the upper's"
+    [ (2, `Lo "lo.m1"); (3, `Lo "lo.m2"); (9, `Hi "h1") ]
+    out;
+  Alcotest.(check (list string)) "lower ticked" [ "lo.tick"; "lo.init.1" ] lo;
+  (* 2 events: the upper observed the lower's post-tick state *)
+  Alcotest.(check (list string))
+    "upper saw the post-tick lower state"
+    [ "hi.tick(saw 2 lo events)"; "hi.init.1" ]
+    hi
+
+let test_stack_routing () =
+  let p = stacked () in
+  let v = dummy_view () in
+  let st0 = p.Stack.p_init 1 in
+  let (lo, hi), out = p.Stack.p_recv v ~from:4 (`Lo "ping") st0 in
+  Alcotest.(check (list string))
+    "Lo routed to the lower alone" [ "lo.recv.4.ping"; "lo.init.1" ] lo;
+  Alcotest.(check (list string)) "upper untouched" [ "hi.init.1" ] hi;
+  Alcotest.(check (list (pair int lo_hi_msg))) "lower replies re-wrapped" [] out;
+  let (lo, hi), _ = p.Stack.p_recv v ~from:4 (`Hi "yo") st0 in
+  Alcotest.(check (list string)) "lower untouched" [ "lo.init.1" ] lo;
+  Alcotest.(check (list string)) "Hi routed to the upper" [ "hi.recv.4.yo"; "hi.init.1" ] hi
+
+(* ------------------------------------------------------------------ *)
+(* The loop runtime                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type ping_state = { mutable got : (Pid.t * string) list; mutable pinged : bool }
+
+let ping_driver : (ping_state, string, string Runtime.Loop.ctx) Runtime.driver =
+  {
+    Runtime.d_init = (fun _ -> { got = []; pinged = false });
+    d_timer =
+      (fun ctx st ->
+        if Pid.equal (Runtime.Loop.Ctx.self ctx) 1 && not st.pinged then begin
+          Runtime.Loop.Ctx.send ctx 2 "ping";
+          st.pinged <- true
+        end;
+        st);
+    d_recv =
+      (fun ctx from m st ->
+        st.got <- (from, m) :: st.got;
+        if String.equal m "ping" then Runtime.Loop.Ctx.send ctx from "pong";
+        st);
+  }
+
+let test_loop_delivery () =
+  let t = Runtime.Loop.create ~driver:ping_driver ~pids:[ 1; 2 ] () in
+  Runtime.Loop.run_round t;
+  Alcotest.(check (list (pair int string)))
+    "ping delivered in its round" [ (1, "ping") ]
+    (Runtime.Loop.state t 2).got;
+  Runtime.Loop.run_round t;
+  Alcotest.(check (list (pair int string)))
+    "pong delivered next round" [ (2, "pong") ]
+    (Runtime.Loop.state t 1).got;
+  Alcotest.(check int) "rounds counted" 2 (Runtime.Loop.rounds t);
+  Alcotest.(check int) "no stragglers" 0 (Runtime.Loop.pending t)
+
+let test_loop_clock_monotone () =
+  (* an adversarial injected clock that jumps backwards *)
+  let samples = ref [ 0.0; 1.0; 0.5; 2.0; 1.5; 3.0 ] in
+  let clock () =
+    match !samples with
+    | [] -> 99.0
+    | s :: rest ->
+      samples := rest;
+      s
+  in
+  let t = Runtime.Loop.create ~clock ~driver:ping_driver ~pids:[ 1; 2 ] () in
+  let prev = ref (Runtime.Loop.now t) in
+  for _ = 1 to 4 do
+    Runtime.Loop.run_round t;
+    let n = Runtime.Loop.now t in
+    Alcotest.(check bool) "clock never regresses" true (n >= !prev);
+    prev := n
+  done
+
+let test_loop_crash () =
+  let t = Runtime.Loop.create ~driver:ping_driver ~pids:[ 1; 2 ] () in
+  Runtime.Loop.crash t 2;
+  Runtime.Loop.run_rounds t 3;
+  Alcotest.(check (list int)) "crashed node dropped" [ 1 ] (Runtime.Loop.live_pids t);
+  Alcotest.(check (list (pair int string)))
+    "no pong from a crashed node" [] (Runtime.Loop.state t 1).got
+
+(* ------------------------------------------------------------------ *)
+(* Sim-vs-loop equivalence of the full stack                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_stack_on_both_runtimes () =
+  let members = [ 1; 2; 3 ] in
+  let sim =
+    Stack.create ~seed:11 ~n_bound:16 ~hooks:Stack.unit_hooks ~members ()
+  in
+  Alcotest.(check bool) "sim quiescent" true
+    (Stack.run_until sim ~max_steps:400_000 (fun t -> Stack.quiescent t));
+  let lp =
+    Stack_loop.create ~seed:11 ~n_bound:16 ~hooks:Stack.unit_hooks ~members ()
+  in
+  (match Stack_loop.run_until_quiescent lp ~max_rounds:300 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "loop runtime never quiescent");
+  let expect = Some (set members) in
+  let pp_conf fmt = function
+    | Some c -> Pid.pp_set fmt c
+    | None -> Format.fprintf fmt "<none>"
+  in
+  let conf = Alcotest.testable pp_conf ( = ) in
+  Alcotest.check conf "sim agrees on the bootstrap configuration" expect
+    (Stack.uniform_config sim);
+  Alcotest.check conf "loop agrees on the same configuration" expect
+    (Stack_loop.uniform_config lp)
+
+let test_loop_stack_joiner () =
+  let lp =
+    Stack_loop.create ~seed:5 ~n_bound:16 ~hooks:Stack.unit_hooks
+      ~members:[ 1; 2; 3 ] ()
+  in
+  (match Stack_loop.run_until_quiescent lp ~max_rounds:300 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "never quiescent");
+  Stack_loop.add_joiner lp 9;
+  Stack_loop.run_rounds lp 200;
+  Alcotest.(check bool) "joiner converges to trusting the members" true
+    (Pid.Set.subset (set [ 1; 2; 3 ]) (Stack_loop.trusted_of lp 9))
+
+let suites =
+  [
+    ( "runtime.nonce",
+      [
+        Alcotest.test_case "regression" `Quick test_snap_nonce_regression;
+        Alcotest.test_case "injective" `Quick test_snap_nonce_injective;
+      ] );
+    ( "runtime.plugin",
+      [
+        Alcotest.test_case "map identity" `Quick test_map_identity;
+        Alcotest.test_case "map drops unrecognized" `Quick test_map_drops_unrecognized;
+        Alcotest.test_case "pair ordering/routing" `Quick test_pair_ordering_and_routing;
+        Alcotest.test_case "stack ordering" `Quick test_stack_ordering;
+        Alcotest.test_case "stack routing" `Quick test_stack_routing;
+      ] );
+    ( "runtime.loop",
+      [
+        Alcotest.test_case "delivery" `Quick test_loop_delivery;
+        Alcotest.test_case "monotone clock" `Quick test_loop_clock_monotone;
+        Alcotest.test_case "crash" `Quick test_loop_crash;
+      ] );
+    ( "runtime.equivalence",
+      [
+        Alcotest.test_case "stack on both runtimes" `Quick test_stack_on_both_runtimes;
+        Alcotest.test_case "loop joiner" `Quick test_loop_stack_joiner;
+      ] );
+  ]

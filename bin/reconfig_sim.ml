@@ -94,6 +94,39 @@ let pp_config fmt sys =
   | Some c -> Pid.pp_set fmt c
   | None -> Format.fprintf fmt "(no agreement yet)"
 
+(* One trace entry as a JSON object (one line of JSONL output). *)
+let entry_json e =
+  Printf.sprintf "{\"time\":%s,\"node\":%s,\"tag\":\"%s\",\"detail\":\"%s\"}"
+    (Telemetry.Export.json_float e.Trace.time)
+    (match e.Trace.node with Some p -> string_of_int p | None -> "null")
+    (Telemetry.Export.json_escape e.Trace.tag)
+    (Telemetry.Export.json_escape e.Trace.detail)
+
+(* Write the run's telemetry/trace to whichever output files were asked
+   for. All three renderings are deterministic for a fixed seed: the
+   registry never reads wall clocks and exports are sorted. *)
+let export_scenario sys ~metrics_out ~metrics_jsonl ~trace_out =
+  let dump path render =
+    match path with
+    | None -> ()
+    | Some path ->
+      let buf = Buffer.create 4096 in
+      render buf;
+      let oc = open_out path in
+      Buffer.output_buffer oc buf;
+      close_out oc;
+      Format.printf "wrote %s@." path
+  in
+  let tele = Engine.telemetry (Stack.engine sys) in
+  dump metrics_out (fun buf -> Telemetry.Export.prometheus buf tele);
+  dump metrics_jsonl (fun buf -> Telemetry.Export.metrics_jsonl buf tele);
+  dump trace_out (fun buf ->
+      Trace.iter
+        (Engine.trace (Stack.engine sys))
+        (fun e ->
+          Buffer.add_string buf (entry_json e);
+          Buffer.add_char buf '\n'))
+
 let scenario_steady n seed loss =
   let members = List.init n (fun i -> i + 1) in
   let sys =
@@ -116,7 +149,8 @@ let scenario_steady n seed loss =
          && match Stack.uniform_config t with Some c -> Pid.Set.equal c target | None -> false));
   Format.printf "config after delicate replacement: %a@." pp_config sys;
   Format.printf "delicate installs: %d, brute-force resets: %d@."
-    (Stack.total_installs sys) (Stack.total_resets sys)
+    (Stack.total_installs sys) (Stack.total_resets sys);
+  sys
 
 let scenario_transient n seed loss =
   let members = List.init n (fun i -> i + 1) in
@@ -131,7 +165,8 @@ let scenario_transient n seed loss =
   | Some rounds -> Format.printf "recovered in %d rounds@." rounds
   | None -> Format.printf "did not recover within budget@.");
   Format.printf "config after recovery: %a (resets: %d)@." pp_config sys
-    (Stack.total_resets sys)
+    (Stack.total_resets sys);
+  sys
 
 let scenario_churn n seed loss =
   let members = List.init n (fun i -> i + 1) in
@@ -158,7 +193,31 @@ let scenario_churn n seed loss =
   in
   Format.printf "reconfigured away from crashed members: %b@." recovered;
   Format.printf "final config: %a (recMA triggers: %d)@." pp_config sys
-    (Stack.total_triggers sys)
+    (Stack.total_triggers sys);
+  sys
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's telemetry registry to $(docv) in Prometheus text \
+           exposition format.")
+
+let metrics_jsonl_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-jsonl" ] ~docv:"FILE"
+        ~doc:"Write the run's telemetry registry to $(docv) as JSON Lines.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Write the run's event trace to $(docv) as JSON Lines.")
 
 let scenario_cmd =
   let kind =
@@ -167,22 +226,35 @@ let scenario_cmd =
       & pos 0 (enum [ ("steady", `Steady); ("transient", `Transient); ("churn", `Churn) ]) `Steady
       & info [] ~docv:"SCENARIO" ~doc:"One of: steady, transient, churn.")
   in
-  let run kind n seed loss =
-    match kind with
-    | `Steady -> scenario_steady n seed loss
-    | `Transient -> scenario_transient n seed loss
-    | `Churn -> scenario_churn n seed loss
+  let run kind n seed loss metrics_out metrics_jsonl trace_out =
+    let sys =
+      match kind with
+      | `Steady -> scenario_steady n seed loss
+      | `Transient -> scenario_transient n seed loss
+      | `Churn -> scenario_churn n seed loss
+    in
+    export_scenario sys ~metrics_out ~metrics_jsonl ~trace_out
   in
   Cmd.v
     (Cmd.info "scenario" ~doc:"Run a named scenario and narrate the outcome.")
-    Term.(const run $ kind $ n_arg $ seed_arg $ loss_arg)
+    Term.(
+      const run $ kind $ n_arg $ seed_arg $ loss_arg $ metrics_out_arg
+      $ metrics_jsonl_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                                *)
 (* ------------------------------------------------------------------ *)
 
 let trace_cmd =
-  let run n seed loss =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Dump every trace entry as JSON Lines (one object per line) \
+             instead of the filtered human-readable text.")
+  in
+  let run n seed loss json =
     let members = List.init n (fun i -> i + 1) in
     let sys =
       Stack.create ~seed ~loss ~n_bound:(2 * n) ~hooks:Stack.unit_hooks ~members ()
@@ -190,17 +262,18 @@ let trace_cmd =
     Stack.run_rounds sys 30;
     Stack.corrupt_everything sys ~rng:(Rng.create (seed + 1));
     ignore (Stack.run_until_quiescent sys ~max_rounds:1000);
-    let entries = Trace.entries (Engine.trace (Stack.engine sys)) in
-    List.iter
-      (fun e ->
-        if e.Trace.tag <> "join" then Format.printf "%a@." Trace.pp_entry e)
-      entries;
-    Format.printf "final config: %a@."
-      (fun fmt () -> pp_config fmt sys) ()
+    let trace = Engine.trace (Stack.engine sys) in
+    if json then Trace.iter trace (fun e -> print_endline (entry_json e))
+    else begin
+      Trace.iter trace (fun e ->
+          if e.Trace.tag <> "join" then Format.printf "%a@." Trace.pp_entry e);
+      Format.printf "final config: %a@."
+        (fun fmt () -> pp_config fmt sys) ()
+    end
   in
   Cmd.v
     (Cmd.info "trace" ~doc:"Dump the protocol event trace of a transient-fault recovery.")
-    Term.(const run $ n_arg $ seed_arg $ loss_arg)
+    Term.(const run $ n_arg $ seed_arg $ loss_arg $ json_arg)
 
 let () =
   let info =

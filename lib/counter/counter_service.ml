@@ -73,11 +73,14 @@ let ensure_algo ~in_transit_bound ~exhaust_bound (view : Stack.scheme_view) st
     st.algo <- Some algo;
     algo
 
-let abort_op st =
+let abort_op (view : Stack.scheme_view) st =
   st.phase <- Idle;
   st.responses <- Pid.Map.empty;
   st.acks <- Pid.Set.empty;
-  st.abort_count <- st.abort_count + 1
+  st.abort_count <- st.abort_count + 1;
+  Telemetry.span_drop view.Stack.v_telemetry ~name:"counter.op_seconds"
+    ~key:view.Stack.v_self;
+  Telemetry.inc view.Stack.v_telemetry "counter.aborts"
 
 let majority conf = Quorum.majority_threshold (Pid.Set.cardinal conf)
 
@@ -137,6 +140,8 @@ let finish_write (view : Stack.scheme_view) st cnt =
   st.acks <- Pid.Set.empty;
   st.want_increment <- false;
   st.results_rev <- cnt :: st.results_rev;
+  Telemetry.span_end view.Stack.v_telemetry ~labels:[ ("op", "increment") ]
+    ~name:"counter.op_seconds" ~key:view.Stack.v_self ~now:view.Stack.v_now;
   view.Stack.v_emit "counter.increment" (Format.asprintf "%a" Counter.pp cnt)
 
 let finish_read_only (view : Stack.scheme_view) st result =
@@ -144,6 +149,8 @@ let finish_read_only (view : Stack.scheme_view) st result =
   st.responses <- Pid.Map.empty;
   st.want_read <- false;
   st.read_results_rev <- result :: st.read_results_rev;
+  Telemetry.span_end view.Stack.v_telemetry ~labels:[ ("op", "read") ]
+    ~name:"counter.op_seconds" ~key:view.Stack.v_self ~now:view.Stack.v_now;
   view.Stack.v_emit "counter.read"
     (match result with
     | Some c -> Format.asprintf "%a" Counter.pp c
@@ -186,7 +193,7 @@ let maybe_finish_read ~exhaust_bound (view : Stack.scheme_view) st =
         end
         else begin
           (* incomparable or exhausted counters only: return ⊥ *)
-          abort_op st;
+          abort_op view st;
           []
         end))
   | Idle | Reading _ | Writing _ -> []
@@ -226,6 +233,10 @@ let tick ~in_transit_bound ~exhaust_bound (view : Stack.scheme_view) st =
     end;
     (* start a pending increment or read *)
     (if (st.want_increment || st.want_read) && st.phase = Idle then begin
+       (* quorum round-trip timing: the span closes in finish_write /
+          finish_read_only and is dropped on abort *)
+       Telemetry.span_begin view.Stack.v_telemetry ~name:"counter.op_seconds"
+         ~key:self ~now:view.Stack.v_now;
        let rid = st.next_rid in
        st.next_rid <- st.next_rid + 1;
        st.phase <-
@@ -309,10 +320,10 @@ let recv ~in_transit_bound ~exhaust_bound (view : Stack.scheme_view) ~from m st 
   | Abort { rid } -> (
     match st.phase with
     | Reading { rid = r; _ } when r = rid ->
-      abort_op st;
+      abort_op view st;
       (st, [])
     | Writing { rid = r; _ } when r = rid ->
-      abort_op st;
+      abort_op view st;
       (st, [])
     | Idle | Reading _ | Writing _ -> (st, []))
 

@@ -16,6 +16,17 @@ let mean l =
 let fmax l = List.fold_left Float.max neg_infinity l
 let fmin l = List.fold_left Float.min infinity l
 
+(* Exact nearest-rank percentile over a (small) sample list. *)
+let percentile l p =
+  match l with
+  | [] -> nan
+  | l ->
+    let a = Array.of_list l in
+    Array.sort Float.compare a;
+    let n = Array.length a in
+    let rank = int_of_float (Float.ceil (p *. float_of_int n)) in
+    a.(max 0 (min (n - 1) (rank - 1)))
+
 (* The channel capacity used throughout (the paper's cap). *)
 let cap = 8
 
@@ -87,6 +98,8 @@ let e1_convergence ?(jobs = 1) p =
           Table.cell_int n;
           Table.cell_bool recovered;
           Table.cell_float (mean rounds);
+          Table.cell_float (percentile rounds 0.5);
+          Table.cell_float (percentile rounds 0.95);
           Table.cell_float (fmin rounds);
           Table.cell_float (fmax rounds);
           Table.cell_int resets;
@@ -98,7 +111,17 @@ let e1_convergence ?(jobs = 1) p =
     ~claim:
       "Theorem 3.15: from any state (corrupted nodes AND channels), the \
        system reaches a conflict-free uniform configuration"
-    ~header:[ "N"; "recovered"; "rounds(mean)"; "rounds(min)"; "rounds(max)"; "resets" ]
+    ~header:
+      [
+        "N";
+        "recovered";
+        "rounds(mean)";
+        "rounds(p50)";
+        "rounds(p95)";
+        "rounds(min)";
+        "rounds(max)";
+        "resets";
+      ]
     ~notes:
       [
         "every node state and every channel is overwritten with random garbage \

@@ -232,8 +232,14 @@ let stale_check_always t ~part events =
     List.fold_left (fun acc (_, pv) -> collect acc pv.p_prp) acc (peer_views t ~part)
   in
   let notif_conflict = List.length phase2_sets > 1 in
-  if own_empty then start_reset t "empty config" events
-  else if notif_conflict then start_reset t "conflicting phase-2 notifications" events
+  if own_empty then begin
+    events := ("recsa.stale", "type-2") :: !events;
+    start_reset t "empty config" events
+  end
+  else if notif_conflict then begin
+    events := ("recsa.stale", "type-3") :: !events;
+    start_reset t "conflicting phase-2 notifications" events
+  end
 
 (* Stale-information tests that only apply outside replacements. *)
 let stale_check_quiet t ~trusted ~part events =
@@ -254,8 +260,14 @@ let stale_check_quiet t ~trusted ~part events =
     | Config_value.Set s -> fd_stable && Pid.Set.is_empty (Pid.Set.inter s part)
     | Config_value.Not_participant | Config_value.Reset -> false
   in
-  if conflict then start_reset t "config conflict" events
-  else if dead_config then start_reset t "config has no live participant" events
+  if conflict then begin
+    events := ("recsa.stale", "type-2") :: !events;
+    start_reset t "config conflict" events
+  end
+  else if dead_config then begin
+    events := ("recsa.stale", "type-4") :: !events;
+    start_reset t "config has no live participant" events
+  end
 
 let max_notification t ~part =
   let own = if Pid.Set.mem t.sa_self part then [ t.sa_prp ] else [] in
@@ -360,12 +372,17 @@ let tick t ~trusted =
   (* line 25 prologue: clean state about processors we no longer trust *)
   t.peers <- Pid.Map.filter (fun p _ -> Pid.Set.mem p trusted) t.peers;
   (* type-1 cleaning: malformed notifications are normalized, never kept *)
-  if Notification.malformed t.sa_prp then t.sa_prp <- Notification.default;
+  if Notification.malformed t.sa_prp then begin
+    events := ("recsa.stale", "type-1") :: !events;
+    t.sa_prp <- Notification.default
+  end;
   t.peers <-
     Pid.Map.map
       (fun pv ->
-        if Notification.malformed pv.p_prp then
+        if Notification.malformed pv.p_prp then begin
+          events := ("recsa.stale", "type-1") :: !events;
           { pv with p_prp = Notification.default }
+        end
         else pv)
       t.peers;
   (* a non-participant observing a reset joins it (brute force includes all

@@ -17,6 +17,7 @@ type 'app node_state = {
   mutable seeds : Pid.Set.t;
   mutable snap : Datalink.Snap_link.t Pid.Map.t;
   joiner : bool;
+  mutable tele_phase : Notification.phase;
 }
 
 type scheme_view = {
@@ -27,6 +28,7 @@ type scheme_view = {
   v_now : float;
   v_rng : Rng.t;
   v_metrics : Metrics.t;
+  v_telemetry : Telemetry.t;
 }
 
 (* --- derived views of the scheme state (Figure 1's getConfig()/noReco()
@@ -180,6 +182,74 @@ let link_clean n peer =
    multiplier *)
 let snap_nonce ~self ~peer = (self lsl Pid.key_bits) lor peer
 
+(* Pre-register every telemetry family the scheme can emit, so exporters
+   list a stable schema even for runs where an event never fires. *)
+let declare_metrics tele =
+  List.iter
+    (fun ty -> Telemetry.declare_counter tele ~labels:[ ("type", ty) ] "recsa.conflicts")
+    [ "1"; "2"; "3"; "4" ];
+  Telemetry.declare_counter tele "recsa.resets";
+  Telemetry.declare_counter tele "recsa.brute_force";
+  Telemetry.declare_counter tele "recsa.installs";
+  List.iter
+    (fun r -> Telemetry.declare_counter tele ~labels:[ ("reason", r) ] "recma.triggers")
+    [ "collapse"; "prediction" ];
+  Telemetry.declare_counter tele "join.completed";
+  Telemetry.declare_counter tele "counter.aborts";
+  Telemetry.declare_counter tele "vs.proposals";
+  Telemetry.declare_counter tele "vs.installs";
+  Telemetry.declare_histogram tele "recsa.replacement_seconds";
+  Telemetry.declare_histogram tele "recsa.reset_recovery_seconds";
+  Telemetry.declare_histogram tele "join.handshake_seconds";
+  List.iter
+    (fun op ->
+      Telemetry.declare_histogram tele ~labels:[ ("op", op) ] "counter.op_seconds")
+    [ "increment"; "read" ];
+  Telemetry.declare_histogram tele "vs.view_change_seconds"
+
+(* Fold a scheme trace event into the telemetry registry: the stale types
+   of Definition 3.1 as labeled conflict counters, reset -> brute-force
+   recovery as a span, the joiner handshake as a span. *)
+let note_event tele ~self ~now (tag, detail) =
+  match tag with
+  | "recsa.stale" ->
+    (* detail is "type-N"; label just the N *)
+    let ty =
+      match String.index_opt detail '-' with
+      | Some i -> String.sub detail (i + 1) (String.length detail - i - 1)
+      | None -> detail
+    in
+    Telemetry.inc tele ~labels:[ ("type", ty) ] "recsa.conflicts"
+  | "recsa.reset" ->
+    Telemetry.inc tele "recsa.resets";
+    Telemetry.span_begin tele ~name:"recsa.reset_recovery_seconds" ~key:self ~now
+  | "recsa.join_reset" ->
+    Telemetry.span_begin tele ~name:"recsa.reset_recovery_seconds" ~key:self ~now
+  | "recsa.brute_force" ->
+    Telemetry.inc tele "recsa.brute_force";
+    (* a node corrupted straight into a reset never saw the reset event;
+       only close spans we actually opened *)
+    if Telemetry.span_open tele ~name:"recsa.reset_recovery_seconds" ~key:self then
+      Telemetry.span_end tele ~name:"recsa.reset_recovery_seconds" ~key:self ~now
+  | "recsa.install" ->
+    Telemetry.inc tele "recsa.installs";
+    (* a resetting node can also recover by adopting a peer's phase-2
+       notification; that install ends its recovery too *)
+    if Telemetry.span_open tele ~name:"recsa.reset_recovery_seconds" ~key:self then
+      Telemetry.span_end tele ~name:"recsa.reset_recovery_seconds" ~key:self ~now
+  | "recma.trigger" ->
+    let reason =
+      if String.equal detail "majority collapse" then "collapse" else "prediction"
+    in
+    Telemetry.inc tele ~labels:[ ("reason", reason) ] "recma.triggers"
+  | "join.start" ->
+    Telemetry.span_begin tele ~name:"join.handshake_seconds" ~key:self ~now
+  | "join.participate" ->
+    Telemetry.inc tele "join.completed";
+    if Telemetry.span_open tele ~name:"join.handshake_seconds" ~key:self then
+      Telemetry.span_end tele ~name:"join.handshake_seconds" ~key:self ~now
+  | _ -> ()
+
 let snap_instance ~capacity n ~self ~peer =
   match Pid.Map.find_opt peer n.snap with
   | Some s -> s
@@ -196,6 +266,7 @@ let snap_instance ~capacity n ~self ~peer =
 module Core (R : Runtime.S) = struct
   let send_counted ctx kind dst m =
     Metrics.incr (R.metrics ctx) ("sent." ^ kind);
+    Telemetry.inc (R.telemetry ctx) ~labels:[ ("kind", kind) ] "stack.sent";
     R.send ctx dst m
 
   (* protocol traffic is held back until the link's handshake completed *)
@@ -211,6 +282,7 @@ module Core (R : Runtime.S) = struct
       v_now = R.now ctx;
       v_rng = R.rng ctx;
       v_metrics = R.metrics ctx;
+      v_telemetry = R.telemetry ctx;
     }
 
   let driver ~capacity ~n_bound ~theta ~quorum ~hooks ~members_set ~directory =
@@ -230,6 +302,7 @@ module Core (R : Runtime.S) = struct
           seeds = Pid.Set.remove p !directory;
           snap = Pid.Map.empty;
           joiner;
+          tele_phase = Notification.P0;
         }
       in
       if joiner then
@@ -251,9 +324,30 @@ module Core (R : Runtime.S) = struct
           | None -> ())
         n.snap;
       let trusted = Detector.Theta_fd.trusted n.fd in
-      let emit_all = List.iter (fun (tag, detail) -> R.emit ctx tag detail) in
+      let tele = R.telemetry ctx in
+      let now = R.now ctx in
+      let emit_all =
+        List.iter (fun (tag, detail) ->
+            R.emit ctx tag detail;
+            note_event tele ~self ~now (tag, detail))
+      in
       (* recSA: one do-forever iteration, then the line-29 broadcast *)
       emit_all (Recsa.tick n.sa ~trusted);
+      (* time the delicate-replacement automaton: a span opens when this
+         node's notification leaves phase 0 and closes when it returns
+         (Figure 2's 0 -> 1 -> 2 -> 0 cycle) *)
+      let phase = (Recsa.prp n.sa).Notification.phase in
+      if phase <> n.tele_phase then begin
+        (match (n.tele_phase, phase) with
+        | Notification.P0, (Notification.P1 | Notification.P2) ->
+          Telemetry.span_begin tele ~name:"recsa.replacement_seconds" ~key:self ~now
+        | (Notification.P1 | Notification.P2), Notification.P0 ->
+          if Telemetry.span_open tele ~name:"recsa.replacement_seconds" ~key:self
+          then
+            Telemetry.span_end tele ~name:"recsa.replacement_seconds" ~key:self ~now
+        | _ -> ());
+        n.tele_phase <- phase
+      end;
       let sa_msgs = Recsa.broadcast n.sa ~trusted in
       List.iter (fun (dst, m) -> send_gated ctx n "sa" dst (Sa m)) sa_msgs;
       (* recMA *)
@@ -380,6 +474,7 @@ let create ?(seed = 42) ?(capacity = 8) ?(loss = 0.02) ?(theta = 4)
     Engine.create ~seed ~capacity ~loss ~behavior:(Runtime.sim_behavior driver)
       ~pids:members ()
   in
+  declare_metrics (Engine.telemetry eng);
   { eng; hooks; directory }
 
 let engine t = t.eng

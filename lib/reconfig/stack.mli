@@ -36,6 +36,9 @@ type 'app node_state = {
       (** per-peer cleaning handshakes; a joiner participates in the
           protocols over a link only once its handshake completed *)
   joiner : bool;  (** joined after system start (runs the handshake) *)
+  mutable tele_phase : Notification.phase;
+      (** last notification phase observed by the telemetry layer, for
+          timing the delicate-replacement 0 -> 1 -> 2 -> 0 cycle *)
 }
 
 (** Read-only view of the scheme handed to the application plugin — the
@@ -49,6 +52,7 @@ type scheme_view = {
   v_now : float;  (** the runtime's current time *)
   v_rng : Rng.t;  (** the runtime's random source *)
   v_metrics : Metrics.t;  (** shared metrics registry *)
+  v_telemetry : Telemetry.t;  (** shared telemetry registry *)
 }
 
 (** Derived read-only views of the scheme state, shared by all service
@@ -152,6 +156,18 @@ val default_eval_conf :
     ({!Sim.Pid.key_bits} bits each), so distinct pairs always get distinct
     nonces. *)
 val snap_nonce : self:Pid.t -> peer:Pid.t -> int
+
+(** [declare_metrics tele] pre-registers every telemetry family the scheme
+    emits (conflict counters per stale type, reset/install counters, the
+    replacement/recovery/join/counter-op/view-change histograms), so
+    exports list a stable schema even before any event fires. Called by
+    the system constructors ([create] here and [Stack_loop.create]). *)
+val declare_metrics : Telemetry.t -> unit
+
+(** [note_event tele ~self ~now (tag, detail)] folds one scheme trace
+    event into the telemetry registry (used by {!Core}; exposed for
+    runtimes that drive the layers directly). *)
+val note_event : Telemetry.t -> self:Pid.t -> now:float -> string * string -> unit
 
 (** {2 The engine-agnostic protocol core} *)
 

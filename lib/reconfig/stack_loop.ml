@@ -17,7 +17,9 @@ let create ?(seed = 42) ?(capacity = 8) ?(theta = 4)
     Loop_core.driver ~capacity ~n_bound ~theta ~quorum ~hooks ~members_set
       ~directory
   in
-  { loop = Loop.create ~seed ?clock ~driver ~pids:members (); directory }
+  let loop = Loop.create ~seed ?clock ~driver ~pids:members () in
+  Stack.declare_metrics (Loop.telemetry loop);
+  { loop; directory }
 
 let loop t = t.loop
 

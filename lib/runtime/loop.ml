@@ -7,6 +7,7 @@ type 'm ctx = {
   mutable c_out : (Pid.t * 'm) list; (* reversed *)
   c_trace : Trace.t;
   c_metrics : Metrics.t;
+  c_telemetry : Telemetry.t;
 }
 
 module Ctx = struct
@@ -21,6 +22,7 @@ module Ctx = struct
     Trace.record c.c_trace ~time:c.c_now ~node:c.c_self ~tag detail
 
   let metrics c = c.c_metrics
+  let telemetry c = c.c_telemetry
 end
 
 type ('s, 'm) node = {
@@ -36,6 +38,7 @@ type ('s, 'm) t = {
   nodes : (Pid.t, ('s, 'm) node) Hashtbl.t;
   l_trace : Trace.t;
   l_metrics : Metrics.t;
+  l_telemetry : Telemetry.t;
   mutable l_rounds : int;
 }
 
@@ -59,6 +62,7 @@ let create ?(seed = 42) ?clock ~driver ~pids () =
       nodes = Hashtbl.create 16;
       l_trace = Trace.create ();
       l_metrics = Metrics.create ();
+      l_telemetry = Telemetry.create ();
       l_rounds = 0;
     }
   in
@@ -73,6 +77,7 @@ let create ?(seed = 42) ?clock ~driver ~pids () =
 let now t = t.clock ()
 let trace t = t.l_trace
 let metrics t = t.l_metrics
+let telemetry t = t.l_telemetry
 
 let pids t =
   Hashtbl.fold (fun p _ acc -> p :: acc) t.nodes [] |> List.sort Pid.compare
@@ -112,6 +117,7 @@ let make_ctx t p =
     c_out = [];
     c_trace = t.l_trace;
     c_metrics = t.l_metrics;
+    c_telemetry = t.l_telemetry;
   }
 
 let flush t ctx =

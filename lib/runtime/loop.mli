@@ -39,6 +39,7 @@ val create :
 val now : ('s, 'm) t -> float
 val trace : ('s, 'm) t -> Trace.t
 val metrics : ('s, 'm) t -> Metrics.t
+val telemetry : ('s, 'm) t -> Telemetry.t
 val pids : ('s, 'm) t -> Pid.t list
 val live_pids : ('s, 'm) t -> Pid.t list
 val state : ('s, 'm) t -> Pid.t -> 's

@@ -9,6 +9,7 @@ module type S = sig
   val send : 'm ctx -> Pid.t -> 'm -> unit
   val emit : 'm ctx -> string -> string -> unit
   val metrics : 'm ctx -> Metrics.t
+  val telemetry : 'm ctx -> Telemetry.t
 end
 
 type ('s, 'm, 'ctx) driver = {
@@ -26,6 +27,7 @@ module Sim_engine = struct
   let send = Engine.send
   let emit = Engine.emit
   let metrics = Engine.metrics_of_ctx
+  let telemetry = Engine.telemetry_of_ctx
 end
 
 let sim_behavior d =

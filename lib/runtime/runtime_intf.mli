@@ -45,6 +45,12 @@ module type S = sig
 
   val metrics : 'm ctx -> Metrics.t
   (** Shared metrics registry for protocol-level accounting. *)
+
+  val telemetry : 'm ctx -> Telemetry.t
+  (** Shared telemetry registry: labeled counters and gauges, bounded
+      histograms, and phase spans ({!Telemetry}). Like [now], times fed to
+      spans are the runtime's — virtual under the simulator, so telemetry
+      exports from seeded runs are deterministic. *)
 end
 
 (** A runtime-agnostic behavior: the node automaton, parameterized by the

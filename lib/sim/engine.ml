@@ -5,6 +5,7 @@ type 'm ctx = {
   mutable ctx_outbox : (Pid.t * 'm) list; (* reversed *)
   ctx_trace : Trace.t;
   ctx_metrics : Metrics.t;
+  ctx_telemetry : Telemetry.t;
 }
 
 let self c = c.ctx_self
@@ -16,6 +17,7 @@ let emit c tag detail =
   Trace.record c.ctx_trace ~time:c.ctx_time ~node:c.ctx_self ~tag detail
 
 let metrics_of_ctx c = c.ctx_metrics
+let telemetry_of_ctx c = c.ctx_telemetry
 
 type ('s, 'm) behavior = {
   init : Pid.t -> 's;
@@ -78,6 +80,7 @@ type ('s, 'm) t = {
   mutable e_min_count : int;
   e_trace : Trace.t;
   e_metrics : Metrics.t;
+  e_telemetry : Telemetry.t;
 }
 
 let compare_event a b =
@@ -137,6 +140,7 @@ let create ?(seed = 42) ?(capacity = 8) ?(loss = 0.02) ?(dup = 0.02) ?(reorder =
       e_min_count = 0;
       e_trace = Trace.create ();
       e_metrics = Metrics.create ();
+      e_telemetry = Telemetry.create ();
     }
   in
   List.iter
@@ -154,6 +158,7 @@ let time t = t.e_time
 let rng t = t.e_rng
 let trace t = t.e_trace
 let metrics t = t.e_metrics
+let telemetry t = t.e_telemetry
 
 let pids t =
   Hashtbl.fold (fun p _ acc -> p :: acc) t.nodes [] |> List.sort Pid.compare
@@ -290,7 +295,8 @@ let exec_step t kind =
     if not n.n_crashed then begin
       let ctx =
         { ctx_self = p; ctx_time = t.e_time; ctx_rng = t.e_rng; ctx_outbox = [];
-          ctx_trace = t.e_trace; ctx_metrics = t.e_metrics }
+          ctx_trace = t.e_trace; ctx_metrics = t.e_metrics;
+          ctx_telemetry = t.e_telemetry }
       in
       n.n_state <- t.behavior.on_timer ctx n.n_state;
       note_tick t n;
@@ -311,7 +317,8 @@ let exec_step t kind =
         | Some msg ->
           let ctx =
             { ctx_self = dst; ctx_time = t.e_time; ctx_rng = t.e_rng; ctx_outbox = [];
-              ctx_trace = t.e_trace; ctx_metrics = t.e_metrics }
+              ctx_trace = t.e_trace; ctx_metrics = t.e_metrics;
+              ctx_telemetry = t.e_telemetry }
           in
           n.n_state <- t.behavior.on_message ctx src msg n.n_state;
           flush_outbox t ctx

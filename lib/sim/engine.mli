@@ -38,6 +38,10 @@ val emit : 'm ctx -> string -> string -> unit
     accounting (e.g. messages sent per layer). *)
 val metrics_of_ctx : 'm ctx -> Metrics.t
 
+(** [telemetry_of_ctx ctx] — the engine's telemetry registry (labeled
+    counters, histograms, phase spans). *)
+val telemetry_of_ctx : 'm ctx -> Telemetry.t
+
 type ('s, 'm) behavior = {
   init : Pid.t -> 's;
   on_timer : 'm ctx -> 's -> 's;  (** one [do forever] iteration *)
@@ -71,6 +75,7 @@ val time : ('s, 'm) t -> float
 val rng : ('s, 'm) t -> Rng.t
 val trace : ('s, 'm) t -> Trace.t
 val metrics : ('s, 'm) t -> Metrics.t
+val telemetry : ('s, 'm) t -> Telemetry.t
 val pids : ('s, 'm) t -> Pid.t list
 val live_pids : ('s, 'm) t -> Pid.t list
 val is_live : ('s, 'm) t -> Pid.t -> bool

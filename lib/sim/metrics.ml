@@ -1,6 +1,17 @@
+type series = {
+  mutable rev_samples : float list; (* newest first *)
+  mutable n : int;
+  mutable sum : float;
+  mutable mn : float;
+  mutable mx : float;
+  (* sorted view, built lazily and invalidated on observe so repeated
+     percentile queries don't re-sort *)
+  mutable sorted : float array option;
+}
+
 type t = {
   counters : (string, int ref) Hashtbl.t;
-  series : (string, float list ref) Hashtbl.t;
+  series : (string, series) Hashtbl.t;
 }
 
 let create () = { counters = Hashtbl.create 32; series = Hashtbl.create 32 }
@@ -19,45 +30,70 @@ let get t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None
 
 let series t name =
   match Hashtbl.find_opt t.series name with
-  | Some r -> r
+  | Some s -> s
   | None ->
-    let r = ref [] in
-    Hashtbl.add t.series name r;
-    r
+    let s =
+      {
+        rev_samples = [];
+        n = 0;
+        sum = 0.0;
+        mn = infinity;
+        mx = neg_infinity;
+        sorted = None;
+      }
+    in
+    Hashtbl.add t.series name s;
+    s
 
 let observe t name v =
-  let r = series t name in
-  r := v :: !r
+  let s = series t name in
+  s.rev_samples <- v :: s.rev_samples;
+  s.n <- s.n + 1;
+  s.sum <- s.sum +. v;
+  if v < s.mn then s.mn <- v;
+  if v > s.mx then s.mx <- v;
+  s.sorted <- None
+
+let find t name = Hashtbl.find_opt t.series name
 
 let samples t name =
-  match Hashtbl.find_opt t.series name with Some r -> List.rev !r | None -> []
+  match find t name with Some s -> List.rev s.rev_samples | None -> []
 
-let sample_count t name = List.length (samples t name)
-
-let fold_samples t name f =
-  match samples t name with
-  | [] -> None
-  | x :: rest -> Some (List.fold_left f x rest, 1 + List.length rest)
+let sample_count t name = match find t name with Some s -> s.n | None -> 0
 
 let mean t name =
-  match samples t name with
-  | [] -> None
-  | l ->
-    let sum = List.fold_left ( +. ) 0.0 l in
-    Some (sum /. float_of_int (List.length l))
+  match find t name with
+  | Some s when s.n > 0 -> Some (s.sum /. float_of_int s.n)
+  | Some _ | None -> None
 
-let min_sample t name = Option.map fst (fold_samples t name Float.min)
-let max_sample t name = Option.map fst (fold_samples t name Float.max)
+let min_sample t name =
+  match find t name with
+  | Some s when s.n > 0 -> Some s.mn
+  | Some _ | None -> None
+
+let max_sample t name =
+  match find t name with
+  | Some s when s.n > 0 -> Some s.mx
+  | Some _ | None -> None
+
+let sorted_view s =
+  match s.sorted with
+  | Some a -> a
+  | None ->
+    let a = Array.of_list s.rev_samples in
+    Array.sort Float.compare a;
+    s.sorted <- Some a;
+    a
 
 let percentile t name p =
-  match samples t name with
-  | [] -> None
-  | l ->
-    let sorted = List.sort Float.compare l in
-    let n = List.length sorted in
+  match find t name with
+  | Some s when s.n > 0 ->
+    let a = sorted_view s in
+    let n = Array.length a in
     let rank = int_of_float (ceil (p *. float_of_int n)) in
     let idx = max 0 (min (n - 1) (rank - 1)) in
-    Some (List.nth sorted idx)
+    Some a.(idx)
+  | Some _ | None -> None
 
 let clear t =
   Hashtbl.reset t.counters;

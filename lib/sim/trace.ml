@@ -5,38 +5,70 @@ type entry = {
   detail : string;
 }
 
+(* Circular buffer: [buf] holds [len] entries starting at [start]
+   (chronological order, wrapping). Storage grows geometrically up to
+   [limit]; once full, recording overwrites the oldest entry, so the
+   trace never holds more than [limit] entries. *)
 type t = {
   limit : int;
-  mutable rev_entries : entry list; (* newest first *)
+  mutable buf : entry array;
+  mutable start : int;
   mutable len : int;
 }
 
-let create ?(limit = 100_000) () = { limit; rev_entries = []; len = 0 }
+let create ?(limit = 100_000) () = { limit; buf = [||]; start = 0; len = 0 }
 
 let record t ~time ?node ~tag detail =
-  t.rev_entries <- { time; node; tag; detail } :: t.rev_entries;
-  t.len <- t.len + 1;
-  if t.len > 2 * t.limit then begin
-    (* amortized truncation to the newest [limit] entries *)
-    let rec keep n = function
-      | [] -> []
-      | _ when n = 0 -> []
-      | x :: rest -> x :: keep (n - 1) rest
-    in
-    t.rev_entries <- keep t.limit t.rev_entries;
-    t.len <- t.limit
+  if t.limit > 0 then begin
+    let e = { time; node; tag; detail } in
+    let cap = Array.length t.buf in
+    if t.len < cap then begin
+      t.buf.((t.start + t.len) mod cap) <- e;
+      t.len <- t.len + 1
+    end
+    else if cap < t.limit then begin
+      let cap' = min t.limit (max 16 (2 * cap)) in
+      let buf' = Array.make cap' e in
+      for i = 0 to t.len - 1 do
+        buf'.(i) <- t.buf.((t.start + i) mod cap)
+      done;
+      buf'.(t.len) <- e;
+      t.buf <- buf';
+      t.start <- 0;
+      t.len <- t.len + 1
+    end
+    else begin
+      (* full at [limit]: evict the oldest *)
+      t.buf.(t.start) <- e;
+      t.start <- (t.start + 1) mod cap
+    end
   end
 
-let entries t = List.rev t.rev_entries
-let with_tag t tag = List.filter (fun e -> String.equal e.tag tag) (entries t)
+let iter t f =
+  let cap = Array.length t.buf in
+  for i = 0 to t.len - 1 do
+    f t.buf.((t.start + i) mod cap)
+  done
+
+let fold t ~init f =
+  let acc = ref init in
+  iter t (fun e -> acc := f !acc e);
+  !acc
+
+let length t = t.len
+let entries t = List.rev (fold t ~init:[] (fun acc e -> e :: acc))
+
+let with_tag t tag =
+  List.rev
+    (fold t ~init:[] (fun acc e ->
+         if String.equal e.tag tag then e :: acc else acc))
 
 let count t tag =
-  List.fold_left
-    (fun acc e -> if String.equal e.tag tag then acc + 1 else acc)
-    0 t.rev_entries
+  fold t ~init:0 (fun acc e -> if String.equal e.tag tag then acc + 1 else acc)
 
 let clear t =
-  t.rev_entries <- [];
+  t.buf <- [||];
+  t.start <- 0;
   t.len <- 0
 
 let pp_entry fmt e =

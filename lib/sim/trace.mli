@@ -14,10 +14,21 @@ type entry = {
 type t
 
 (** [create ~limit ()] keeps at most [limit] most-recent entries
-    (default 100_000). *)
+    (default 100_000). Recording beyond [limit] evicts the oldest entry:
+    the trace is a ring, never holding more than [limit] entries. *)
 val create : ?limit:int -> unit -> t
 
+(** O(1) (amortized — storage grows geometrically up to [limit]). *)
 val record : t -> time:float -> ?node:Pid.t -> tag:string -> string -> unit
+
+(** Apply to each retained entry in chronological order, without
+    materializing a list. *)
+val iter : t -> (entry -> unit) -> unit
+
+val fold : t -> init:'a -> ('a -> entry -> 'a) -> 'a
+
+(** Number of retained entries (at most [limit]). *)
+val length : t -> int
 
 (** Entries in chronological order. *)
 val entries : t -> entry list

@@ -1,0 +1,404 @@
+type labels = (string * string) list
+
+(* ------------------------------------------------------------------ *)
+(* Bounded log-scale histograms                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Histogram = struct
+  let buckets = 40
+  let least = 0.001
+  let ratio = 2.0
+
+  let bounds =
+    Array.init buckets (fun i -> least *. (ratio ** float_of_int i))
+
+  let bound i =
+    if i < 0 || i >= buckets then invalid_arg "Telemetry.Histogram.bound"
+    else bounds.(i)
+
+  (* Smallest i with v <= bounds.(i); [buckets] for the overflow bucket.
+     The log gives the index directly; one step of adjustment absorbs
+     floating-point error at the exact bucket boundaries. *)
+  let bucket_index v =
+    if not (v > least) then 0
+    else begin
+      let raw = Float.log (v /. least) /. Float.log ratio in
+      let i = ref (max 0 (min buckets (int_of_float (Float.ceil raw)))) in
+      while !i > 0 && v <= bounds.(!i - 1) do
+        decr i
+      done;
+      while !i < buckets && v > bounds.(!i) do
+        incr i
+      done;
+      !i
+    end
+
+  type h = {
+    counts : int array; (* length buckets + 1; last is overflow *)
+    mutable n : int;
+    mutable sum : float;
+    mutable mn : float;
+    mutable mx : float;
+  }
+
+  let create () =
+    { counts = Array.make (buckets + 1) 0; n = 0; sum = 0.0; mn = infinity; mx = neg_infinity }
+
+  let observe h v =
+    let i = bucket_index v in
+    h.counts.(i) <- h.counts.(i) + 1;
+    h.n <- h.n + 1;
+    h.sum <- h.sum +. v;
+    if v < h.mn then h.mn <- v;
+    if v > h.mx then h.mx <- v
+
+  let count h = h.n
+  let sum h = h.sum
+  let min_value h = if h.n = 0 then None else Some h.mn
+  let max_value h = if h.n = 0 then None else Some h.mx
+  let mean h = if h.n = 0 then None else Some (h.sum /. float_of_int h.n)
+
+  let quantile h p =
+    if h.n = 0 then None
+    else begin
+      let rank =
+        max 1 (min h.n (int_of_float (Float.ceil (p *. float_of_int h.n))))
+      in
+      let rec find i acc =
+        let acc = acc + h.counts.(i) in
+        if acc >= rank || i = buckets then i else find (i + 1) acc
+      in
+      let i = find 0 0 in
+      let raw = if i >= buckets then h.mx else bounds.(i) in
+      Some (Float.max h.mn (Float.min h.mx raw))
+    end
+
+  let cumulative h =
+    let acc = ref 0 in
+    List.init buckets (fun i ->
+        acc := !acc + h.counts.(i);
+        (bounds.(i), !acc))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type 'v series = { s_name : string; s_labels : labels; mutable s_value : 'v }
+
+type t = {
+  t_counters : (string, int series) Hashtbl.t;
+  t_gauges : (string, float series) Hashtbl.t;
+  t_hists : (string, Histogram.h series) Hashtbl.t;
+  t_spans : (string, float) Hashtbl.t; (* (name, key) -> begin time *)
+}
+
+let create () =
+  {
+    t_counters = Hashtbl.create 64;
+    t_gauges = Hashtbl.create 16;
+    t_hists = Hashtbl.create 32;
+    t_spans = Hashtbl.create 16;
+  }
+
+let clear t =
+  Hashtbl.reset t.t_counters;
+  Hashtbl.reset t.t_gauges;
+  Hashtbl.reset t.t_hists;
+  Hashtbl.reset t.t_spans
+
+let normalize_labels labels =
+  let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) labels in
+  let rec dup = function
+    | (a, _) :: ((b, _) :: _ as rest) -> String.equal a b || dup rest
+    | [ _ ] | [] -> false
+  in
+  if dup sorted then invalid_arg "Telemetry: duplicate label key";
+  sorted
+
+let series_key name labels =
+  let b = Buffer.create (String.length name + 16) in
+  Buffer.add_string b name;
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char b '\x00';
+      Buffer.add_string b k;
+      Buffer.add_char b '\x01';
+      Buffer.add_string b v)
+    labels;
+  Buffer.contents b
+
+let find_series table ~default name labels =
+  let labels = normalize_labels labels in
+  let key = series_key name labels in
+  match Hashtbl.find_opt table key with
+  | Some s -> s
+  | None ->
+    let s = { s_name = name; s_labels = labels; s_value = default () } in
+    Hashtbl.add table key s;
+    s
+
+(* counters *)
+
+let add t ?(labels = []) name n =
+  let s = find_series t.t_counters ~default:(fun () -> 0) name labels in
+  s.s_value <- s.s_value + n
+
+let inc t ?labels name = add t ?labels name 1
+let declare_counter t ?labels name = add t ?labels name 0
+
+let counter_value t ?(labels = []) name =
+  let labels = normalize_labels labels in
+  match Hashtbl.find_opt t.t_counters (series_key name labels) with
+  | Some s -> s.s_value
+  | None -> 0
+
+(* gauges *)
+
+let set_gauge t ?(labels = []) name v =
+  let s = find_series t.t_gauges ~default:(fun () -> 0.0) name labels in
+  s.s_value <- v
+
+let gauge_value t ?(labels = []) name =
+  let labels = normalize_labels labels in
+  match Hashtbl.find_opt t.t_gauges (series_key name labels) with
+  | Some s -> Some s.s_value
+  | None -> None
+
+(* histograms *)
+
+let histogram t ?(labels = []) name =
+  (find_series t.t_hists ~default:Histogram.create name labels).s_value
+
+let declare_histogram t ?labels name = ignore (histogram t ?labels name)
+let observe t ?labels name v = Histogram.observe (histogram t ?labels name) v
+
+let find_histogram t ?(labels = []) name =
+  let labels = normalize_labels labels in
+  match Hashtbl.find_opt t.t_hists (series_key name labels) with
+  | Some s -> Some s.s_value
+  | None -> None
+
+(* spans *)
+
+let span_key name key = name ^ "\x00" ^ string_of_int key
+
+let span_begin t ~name ~key ~now =
+  let k = span_key name key in
+  if Hashtbl.mem t.t_spans k then
+    inc t ~labels:[ ("span", name) ] "telemetry.span_orphaned";
+  Hashtbl.replace t.t_spans k now
+
+let span_end ?labels t ~name ~key ~now =
+  let k = span_key name key in
+  match Hashtbl.find_opt t.t_spans k with
+  | Some started ->
+    Hashtbl.remove t.t_spans k;
+    observe t ?labels name (now -. started)
+  | None -> inc t ~labels:[ ("span", name) ] "telemetry.span_unmatched"
+
+let span_drop t ~name ~key = Hashtbl.remove t.t_spans (span_key name key)
+let span_open t ~name ~key = Hashtbl.mem t.t_spans (span_key name key)
+let open_spans t = Hashtbl.length t.t_spans
+
+(* export iteration *)
+
+let sorted_rows table =
+  Hashtbl.fold (fun _ s acc -> (s.s_name, s.s_labels, s.s_value) :: acc) table []
+  |> List.sort (fun (n1, l1, _) (n2, l2, _) ->
+         match String.compare n1 n2 with 0 -> compare l1 l2 | c -> c)
+
+let counters t = sorted_rows t.t_counters
+let gauges t = sorted_rows t.t_gauges
+let histograms t = sorted_rows t.t_hists
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Export = struct
+  let json_escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let json_float f =
+    if not (Float.is_finite f) then "null"
+    else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+    else Printf.sprintf "%.17g" f
+
+  let json_labels b labels =
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+      labels;
+    Buffer.add_char b '}'
+
+  let json_opt_float = function None -> "null" | Some f -> json_float f
+
+  let metrics_jsonl b t =
+    List.iter
+      (fun (name, labels, v) ->
+        Buffer.add_string b
+          (Printf.sprintf "{\"kind\":\"counter\",\"name\":\"%s\",\"labels\":"
+             (json_escape name));
+        json_labels b labels;
+        Buffer.add_string b (Printf.sprintf ",\"value\":%d}\n" v))
+      (counters t);
+    List.iter
+      (fun (name, labels, v) ->
+        Buffer.add_string b
+          (Printf.sprintf "{\"kind\":\"gauge\",\"name\":\"%s\",\"labels\":"
+             (json_escape name));
+        json_labels b labels;
+        Buffer.add_string b (Printf.sprintf ",\"value\":%s}\n" (json_float v)))
+      (gauges t);
+    List.iter
+      (fun (name, labels, h) ->
+        let q p = json_opt_float (Histogram.quantile h p) in
+        Buffer.add_string b
+          (Printf.sprintf "{\"kind\":\"histogram\",\"name\":\"%s\",\"labels\":"
+             (json_escape name));
+        json_labels b labels;
+        Buffer.add_string b
+          (Printf.sprintf
+             ",\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s,\"buckets\":["
+             (Histogram.count h)
+             (json_float (Histogram.sum h))
+             (json_opt_float (Histogram.min_value h))
+             (json_opt_float (Histogram.max_value h))
+             (q 0.50) (q 0.90) (q 0.99));
+        (* only the cumulative steps that advance: short, stable lines *)
+        let prev = ref 0 in
+        let first = ref true in
+        List.iter
+          (fun (bound, cum) ->
+            if cum > !prev then begin
+              if not !first then Buffer.add_char b ',';
+              first := false;
+              Buffer.add_string b (Printf.sprintf "[%s,%d]" (json_float bound) cum);
+              prev := cum
+            end)
+          (Histogram.cumulative h);
+        Buffer.add_string b "]}\n")
+      (histograms t)
+
+  let sanitize_name name =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+        | _ -> '_')
+      name
+
+  let prom_escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let prom_labels labels =
+    match labels with
+    | [] -> ""
+    | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "%s=\"%s\"" (sanitize_name k) (prom_escape v))
+             labels)
+      ^ "}"
+
+  let prom_float f =
+    if Float.is_nan f then "NaN"
+    else if f = Float.infinity then "+Inf"
+    else if f = Float.neg_infinity then "-Inf"
+    else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+    else Printf.sprintf "%.17g" f
+
+  let type_line b name kind =
+    Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name kind)
+
+  (* rows arrive sorted by (name, labels); fold into (name, row list) runs *)
+  let group_by_name rows =
+    let rec go acc cur = function
+      | [] ->
+        List.rev
+          (match cur with None -> acc | Some (n, rs) -> (n, List.rev rs) :: acc)
+      | (name, labels, v) :: rest -> (
+        match cur with
+        | Some (n, rs) when String.equal n name ->
+          go acc (Some (n, (labels, v) :: rs)) rest
+        | Some (n, rs) ->
+          go ((n, List.rev rs) :: acc) (Some (name, [ (labels, v) ])) rest
+        | None -> go acc (Some (name, [ (labels, v) ])) rest)
+    in
+    go [] None rows
+
+  let prometheus b t =
+    List.iter
+      (fun (name, rows) ->
+        let pname = sanitize_name name ^ "_total" in
+        type_line b pname "counter";
+        List.iter
+          (fun (labels, v) ->
+            Buffer.add_string b
+              (Printf.sprintf "%s%s %d\n" pname (prom_labels labels) v))
+          rows)
+      (group_by_name (counters t));
+    List.iter
+      (fun (name, rows) ->
+        let pname = sanitize_name name in
+        type_line b pname "gauge";
+        List.iter
+          (fun (labels, v) ->
+            Buffer.add_string b
+              (Printf.sprintf "%s%s %s\n" pname (prom_labels labels)
+                 (prom_float v)))
+          rows)
+      (group_by_name (gauges t));
+    List.iter
+      (fun (name, rows) ->
+        let pname = sanitize_name name in
+        type_line b pname "histogram";
+        List.iter
+          (fun (labels, h) ->
+            let with_le le = prom_labels (labels @ [ ("le", le) ]) in
+            List.iter
+              (fun (bound, cum) ->
+                Buffer.add_string b
+                  (Printf.sprintf "%s_bucket%s %d\n" pname
+                     (with_le (prom_float bound)) cum))
+              (Histogram.cumulative h);
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket%s %d\n" pname (with_le "+Inf")
+                 (Histogram.count h));
+            Buffer.add_string b
+              (Printf.sprintf "%s_sum%s %s\n" pname (prom_labels labels)
+                 (prom_float (Histogram.sum h)));
+            Buffer.add_string b
+              (Printf.sprintf "%s_count%s %d\n" pname (prom_labels labels)
+                 (Histogram.count h)))
+          rows)
+      (group_by_name (histograms t))
+end

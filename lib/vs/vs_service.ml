@@ -184,6 +184,14 @@ let follow machine (v : Stack.scheme_view) st (crd : Pid.t) (rep : ('st, 'cmd) r
     else if not (view_equal st.me.r_view rep.r_view) then begin
       (* entering the installed view *)
       st.view_installs <- st.view_installs + 1;
+      Telemetry.inc v.Stack.v_telemetry "vs.installs";
+      (* close the view-change span if this node was the proposer *)
+      (if
+         Telemetry.span_open v.Stack.v_telemetry ~name:"vs.view_change_seconds"
+           ~key:v.Stack.v_self
+       then
+         Telemetry.span_end v.Stack.v_telemetry ~labels:[ ("role", "follower") ]
+           ~name:"vs.view_change_seconds" ~key:v.Stack.v_self ~now:v.Stack.v_now);
       v.Stack.v_emit "vs.enter_view" (Format.asprintf "%a" pp_view rep.r_view);
       st.me <-
         {
@@ -278,6 +286,13 @@ let coordinate machine ~eval_config (v : Stack.scheme_view) st =
           r_batch = [];
         };
       st.reconf_ready <- false;
+      Telemetry.inc v.Stack.v_telemetry "vs.installs";
+      (if
+         Telemetry.span_open v.Stack.v_telemetry ~name:"vs.view_change_seconds"
+           ~key:v.Stack.v_self
+       then
+         Telemetry.span_end v.Stack.v_telemetry ~labels:[ ("role", "coordinator") ]
+           ~name:"vs.view_change_seconds" ~key:v.Stack.v_self ~now:v.Stack.v_now);
       v.Stack.v_emit "vs.new_view" (Format.asprintf "%a" pp_view st.me.r_view)
     end
   | Multicast ->
@@ -435,6 +450,9 @@ let vs_tick machine ~eval_config (v : Stack.scheme_view) st =
               r_suspend = false;
             };
           st.reconf_ready <- false;
+          Telemetry.inc v.Stack.v_telemetry "vs.proposals";
+          Telemetry.span_begin v.Stack.v_telemetry ~name:"vs.view_change_seconds"
+            ~key:self ~now:v.Stack.v_now;
           v.Stack.v_emit "vs.propose" (Format.asprintf "%a" pp_view st.me.r_propv)
         end
       end

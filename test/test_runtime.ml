@@ -46,6 +46,7 @@ let dummy_view ?(self = 1) () =
     v_now = 0.0;
     v_rng = Rng.create 1;
     v_metrics = Metrics.create ();
+    v_telemetry = Telemetry.create ();
   }
 
 (* A plugin whose state is a newest-first log of everything that happened

@@ -144,6 +144,12 @@ let bench_engine_round =
 let bench_engine_round_16 =
   Test.make ~name:"engine.round_16node_gossip" (Staged.stage (gossip_round_subject 16 16))
 
+(* the scale tier's data-plane floor: 64 nodes = 4032 directed channels,
+   all-to-all gossip; this is the pure engine+channel cost with no protocol
+   on top (compare E17's full-stack steady rounds/s) *)
+let bench_engine_round_64 =
+  Test.make ~name:"engine.round_64node_gossip" (Staged.stage (gossip_round_subject 64 64))
+
 let micro_tests =
   Test.make_grouped ~name:"primitives" ~fmt:"%s %s"
     [
@@ -158,6 +164,7 @@ let micro_tests =
       bench_recsa_tick;
       bench_engine_round;
       bench_engine_round_16;
+      bench_engine_round_64;
     ]
 
 let run_micro () =

@@ -56,7 +56,8 @@ let () =
   in
   propose 60;
   wait sys (fun t ->
-      Reconfig.Stack.uniform_config t = Some target && Reconfig.Stack.quiescent t);
+      Option.equal Pid.Set.equal (Reconfig.Stack.uniform_config t) (Some target)
+      && Reconfig.Stack.quiescent t);
   Format.printf "reconfigured to {1, 3, 4, 5}@.";
   Register_service.read (app sys 1) ~rid:2 "balance";
   wait sys (fun t -> Register_service.find_read (app t 1) ~rid:2 <> None);

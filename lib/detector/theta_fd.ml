@@ -1,29 +1,37 @@
 open Sim
 
+(* Counts are stored inverted: a single [epoch] advances on every arrival,
+   and [last] records the epoch at which each processor was last heard.
+   A processor's count — "arrivals since we last heard from it" — is then
+   [epoch - last], so a heartbeat is two O(log n) map updates instead of
+   rebuilding the whole counts map (the naive representation allocates
+   O(n) map nodes per delivered message, which dominates the simulator's
+   large-N hot path). *)
 type t = {
   n_bound : int;
   theta : int;
   fd_self : Pid.t;
-  mutable counts : int Pid.Map.t;
+  mutable epoch : int;
+  mutable last : int Pid.Map.t;
 }
 
 let create ~n_bound ?(theta = 4) ~self () =
   if n_bound <= 0 then invalid_arg "Theta_fd.create: n_bound";
   if theta < 2 then invalid_arg "Theta_fd.create: theta must be >= 2";
-  { n_bound; theta; fd_self = self; counts = Pid.Map.singleton self 0 }
+  { n_bound; theta; fd_self = self; epoch = 0; last = Pid.Map.singleton self 0 }
 
 let self t = t.fd_self
 
 let heartbeat t p =
-  let bumped = Pid.Map.map (fun c -> if c < max_int - 1 then c + 1 else c) t.counts in
-  t.counts <- Pid.Map.add p 0 (Pid.Map.add t.fd_self 0 bumped)
+  t.epoch <- t.epoch + 1;
+  t.last <- Pid.Map.add p t.epoch (Pid.Map.add t.fd_self t.epoch t.last)
 
-let forget t p = t.counts <- Pid.Map.remove p t.counts
+let forget t p = t.last <- Pid.Map.remove p t.last
 
 (* Sort by (count, pid); walk the prefix until the gap opens. *)
 let ranked t =
-  Pid.Map.bindings t.counts
-  |> List.map (fun (p, c) -> (c, p))
+  Pid.Map.bindings t.last
+  |> List.map (fun (p, l) -> (t.epoch - l, p))
   |> List.sort compare
 
 let trusted_list t =
@@ -32,7 +40,7 @@ let trusted_list t =
      other known processor arrives, so live counts cluster below a small
      multiple of |known|; a crashed processor's count keeps growing past
      theta * (prev + |known|). *)
-  let known_count = max 1 (Pid.Map.cardinal t.counts) in
+  let known_count = max 1 (Pid.Map.cardinal t.last) in
   let rec walk prev taken acc = function
     | [] -> List.rev acc
     | (c, p) :: rest ->
@@ -46,13 +54,13 @@ let trusted_list t =
 
 let trusted t = Pid.Set.add t.fd_self (Pid.set_of_list (trusted_list t))
 let estimate t = Pid.Set.cardinal (trusted t)
-let count t p = Pid.Map.find_opt p t.counts
-let known t = Pid.Map.fold (fun p _ acc -> Pid.Set.add p acc) t.counts Pid.Set.empty
+let count t p = Option.map (fun l -> t.epoch - l) (Pid.Map.find_opt p t.last)
+let known t = Pid.Map.fold (fun p _ acc -> Pid.Set.add p acc) t.last Pid.Set.empty
 
 let corrupt t assoc =
-  t.counts <-
-    List.fold_left (fun m (p, c) -> Pid.Map.add p c m) Pid.Map.empty assoc;
-  t.counts <- Pid.Map.add t.fd_self 0 t.counts
+  t.last <-
+    List.fold_left (fun m (p, c) -> Pid.Map.add p (t.epoch - c) m) Pid.Map.empty assoc;
+  t.last <- Pid.Map.add t.fd_self t.epoch t.last
 
 let pp fmt t =
   Format.fprintf fmt "FD(p%a){%a}" Pid.pp t.fd_self

@@ -206,7 +206,7 @@ let a4_brute_vs_delicate ?(jobs = 1) p =
         if
           Stack.run_until sys ~max_steps:4_000_000 (fun t ->
               Stack.quiescent t
-              && Stack.uniform_config t = Some target)
+              && Option.equal Pid.Set.equal (Stack.uniform_config t) (Some target))
         then Some (float_of_int (Engine.rounds (Stack.engine sys) - start))
         else None
       end

@@ -37,6 +37,15 @@ val e14_partitions : ?jobs:int -> params -> Table.t
 val e15_message_overhead : ?jobs:int -> params -> Table.t
 val e16_register_comparison : ?jobs:int -> params -> Table.t
 
+(** The scale tier (E17): recovery and steady-state throughput at
+    N ∈ {16, 32, 64}. The recovered/rounds columns are deterministic per
+    seed; the wall-clock throughput columns are not — they are the one
+    exception to table byte-identity. *)
+val e17_scale : ?jobs:int -> params -> Table.t
+
+(** The sizes the scale tier measures (16, 32, 64). *)
+val scale_sizes : int list
+
 (** All experiments in order. *)
 val all : ?jobs:int -> params -> Table.t list
 

@@ -3,18 +3,38 @@ open Sim
 type t = Not_participant | Reset | Set of Pid.Set.t
 
 let equal a b =
+  a == b
+  ||
   match (a, b) with
   | Not_participant, Not_participant -> true
   | Reset, Reset -> true
-  | Set s1, Set s2 -> Pid.Set.equal s1 s2
+  | Set s1, Set s2 -> Pid.equal_sets s1 s2
   | (Not_participant | Reset | Set _), _ -> false
 
 let rank = function Not_participant -> 0 | Reset -> 1 | Set _ -> 2
 
 let compare a b =
-  match (a, b) with
-  | Set s1, Set s2 -> Pid.compare_sets_lex s1 s2
-  | _ -> Int.compare (rank a) (rank b)
+  if a == b then 0
+  else
+    match (a, b) with
+    | Set s1, Set s2 -> Pid.compare_sets_lex s1 s2
+    | _ -> Int.compare (rank a) (rank b)
+
+module Table = Intern.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = function
+    | Not_participant -> 0x6aa3
+    | Reset -> 0x7b51
+    | Set s -> Intern.set_hash s
+end)
+
+let intern = function
+  | (Not_participant | Reset) as v -> v (* immediate constructors *)
+  | Set s -> Table.intern (Set (Intern.pid_set s))
+
+let of_set s = Table.intern (Set (Intern.pid_set s))
 
 let pp fmt = function
   | Not_participant -> Format.fprintf fmt "#"

@@ -13,8 +13,20 @@ type t =
   | Reset  (** ⊥ *)
   | Set of Pid.Set.t
 
+(** [equal]/[compare] take a physical-equality fast path first; interned
+    values ({!intern}, {!of_set}) usually decide in one pointer compare. *)
+
 val equal : t -> t -> bool
+
 val compare : t -> t -> int
+
+(** [intern v] is the canonical physically-shared representative of [v]
+    (see {!Intern}); [Not_participant] and [Reset] are immediate and are
+    returned as-is. *)
+val intern : t -> t
+
+(** [of_set s] is the interned [Set s]. *)
+val of_set : Pid.Set.t -> t
 val pp : Format.formatter -> t -> unit
 
 val is_set : t -> bool

@@ -8,12 +8,13 @@ let make phase set = { phase; set = Some set }
 let phase_to_int = function P0 -> 0 | P1 -> 1 | P2 -> 2
 
 let equal a b =
-  a.phase = b.phase
-  &&
-  match (a.set, b.set) with
-  | None, None -> true
-  | Some s1, Some s2 -> Pid.Set.equal s1 s2
-  | None, Some _ | Some _, None -> false
+  a == b
+  || a.phase = b.phase
+     &&
+     match (a.set, b.set) with
+     | None, None -> true
+     | Some s1, Some s2 -> Pid.equal_sets s1 s2
+     | None, Some _ | Some _, None -> false
 
 let compare_set a b =
   match (a, b) with
@@ -23,8 +24,24 @@ let compare_set a b =
   | Some s1, Some s2 -> Pid.compare_sets_lex s1 s2
 
 let compare a b =
-  let c = Int.compare (phase_to_int a.phase) (phase_to_int b.phase) in
-  if c <> 0 then c else compare_set a.set b.set
+  if a == b then 0
+  else
+    let c = Int.compare (phase_to_int a.phase) (phase_to_int b.phase) in
+    if c <> 0 then c else compare_set a.set b.set
+
+module Table = Intern.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash n =
+    (phase_to_int n.phase * 31)
+    + match n.set with None -> 0x51f7 | Some s -> Intern.set_hash s
+end)
+
+let intern n =
+  match n.set with
+  | None -> if n.phase = P0 then default else Table.intern n
+  | Some s -> Table.intern { n with set = Some (Intern.pid_set s) }
 
 let is_default n = equal n default
 

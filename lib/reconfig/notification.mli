@@ -21,8 +21,17 @@ val default : t
 
 val make : phase -> Pid.Set.t -> t
 val phase_to_int : phase -> int
+
+(** [equal]/[compare] take a physical-equality fast path first; interned
+    notifications ({!intern}) usually decide in one pointer compare. *)
+
 val equal : t -> t -> bool
+
 val compare : t -> t -> int
+
+(** [intern n] is the canonical physically-shared representative of [n]
+    (see {!Intern}); {!default} is its own representative. *)
+val intern : t -> t
 
 (** [is_default n] — [n] encodes "no proposal". *)
 val is_default : t -> bool

@@ -34,7 +34,12 @@ let core t ~trusted ~recsa =
       let fd_p =
         if Pid.equal p t.ma_self then Some trusted else Recsa.peer_fd recsa p
       in
-      match fd_p with Some s -> Pid.Set.inter acc s | None -> Pid.Set.empty)
+      match fd_p with
+      (* interning makes the common steady-state case — every participant's
+         fd is the same canonical set — a pointer comparison *)
+      | Some s when s == acc -> acc
+      | Some s -> Pid.Set.inter acc s
+      | None -> Pid.Set.empty)
     part
     (* start from the participant set itself; the intersection can only
        shrink *)

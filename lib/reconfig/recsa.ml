@@ -36,7 +36,7 @@ let create ~self ~participant ?initial_config () =
     if not participant then Config_value.Not_participant
     else
       match initial_config with
-      | Some s -> Config_value.Set s
+      | Some s -> Config_value.of_set s
       | None -> Config_value.Reset
   in
   {
@@ -62,14 +62,17 @@ let install_count t = t.installs
 (* FD[i].part = {pj in FD[i] : config[j] <> #}; our own entry counts iff we
    are a participant. *)
 let participants t ~trusted =
-  Pid.Set.filter
-    (fun p ->
-      if Pid.equal p t.sa_self then is_participant t
-      else
-        match Pid.Map.find_opt p t.peers with
-        | Some pv -> not (Config_value.is_not_participant pv.p_config)
-        | None -> false)
-    trusted
+  (* interned: the result is compared against gossiped [part] descriptors on
+     every message, and interning makes those comparisons pointer-equality *)
+  Intern.pid_set
+    (Pid.Set.filter
+       (fun p ->
+         if Pid.equal p t.sa_self then is_participant t
+         else
+           match Pid.Map.find_opt p t.peers with
+           | Some pv -> not (Config_value.is_not_participant pv.p_config)
+           | None -> false)
+       trusted)
 
 (* Every (non-#) configuration value visible locally: own + received from
    trusted processors. *)
@@ -86,7 +89,7 @@ let distinct_sets values =
     (fun acc v ->
       match v with
       | Config_value.Set s ->
-        if List.exists (Pid.Set.equal s) acc then acc else s :: acc
+        if List.exists (Intern.set_equal s) acc then acc else s :: acc
       | Config_value.Not_participant | Config_value.Reset -> acc)
     [] values
 
@@ -122,20 +125,20 @@ let peer_views t ~part =
 
 (* same(k): pk's most recently received (part, prp) match ours. *)
 let same t ~part pv =
-  Pid.Set.equal pv.p_part part && Notification.equal pv.p_prp t.sa_prp
+  Intern.set_equal pv.p_part part && Notification.equal pv.p_prp t.sa_prp
 
 (* echoNoAll: pk echoed our (part, prp). *)
 let echo_no_all t ~part pv =
   match pv.p_echo with
   | None -> false
-  | Some e -> Pid.Set.equal e.e_part part && Notification.equal e.e_prp t.sa_prp
+  | Some e -> Intern.set_equal e.e_part part && Notification.equal e.e_prp t.sa_prp
 
 (* echo(): pk echoed our full (part, prp, all) triple. *)
 let echo_full t ~part pv =
   match pv.p_echo with
   | None -> false
   | Some e ->
-    Pid.Set.equal e.e_part part
+    Intern.set_equal e.e_part part
     && Notification.equal e.e_prp t.sa_prp
     && Bool.equal e.e_all t.sa_all
 
@@ -149,13 +152,13 @@ let no_reco t ~trusted =
   let no_conflict = List.length (distinct_sets values) <= 1 in
   let no_reset = not (exists_reset values) in
   let parts_stable =
-    List.for_all (fun (_, pv) -> Pid.Set.equal pv.p_part part) views
+    List.for_all (fun (_, pv) -> Intern.set_equal pv.p_part part) views
     (* peers can only echo our values if we broadcast, i.e. participate *)
     && ((not (is_participant t))
        || List.for_all
             (fun (_, pv) ->
               match pv.p_echo with
-              | Some e -> Pid.Set.equal e.e_part part
+              | Some e -> Intern.set_equal e.e_part part
               | None -> false)
             views)
   in
@@ -171,6 +174,7 @@ let get_config t ~trusted =
 (* configSet(val): wrapper for the whole local config array; also clears all
    local notifications (line 21 of the pseudocode). *)
 let config_set t value =
+  let value = Config_value.intern value in
   t.sa_config <- value;
   t.sa_prp <- Notification.default;
   t.sa_all <- false;
@@ -190,6 +194,7 @@ let start_reset t reason events =
 (* Entering a notification state: installing happens on entry to phase 2,
    whether by own increment or by adopting a phase-2 notification. *)
 let advance_to t (n : Notification.t) events =
+  let n = Notification.intern n in
   (match (n.Notification.phase, n.Notification.set) with
   | Notification.P2, Some s ->
     if not (Config_value.equal t.sa_config (Config_value.Set s)) then begin
@@ -197,7 +202,7 @@ let advance_to t (n : Notification.t) events =
       events :=
         ("recsa.install", Format.asprintf "%a" Pid.pp_set s) :: !events
     end;
-    t.sa_config <- Config_value.Set s
+    t.sa_config <- Config_value.of_set s
   | _ -> ());
   t.sa_prp <- n;
   t.sa_all <- false;
@@ -225,7 +230,7 @@ let stale_check_always t ~part events =
     let collect acc (n : Notification.t) =
       match (n.phase, n.set) with
       | Notification.P2, Some s ->
-        if List.exists (Pid.Set.equal s) acc then acc else s :: acc
+        if List.exists (Intern.set_equal s) acc then acc else s :: acc
       | _ -> acc
     in
     let acc = collect [] t.sa_prp in
@@ -252,7 +257,8 @@ let stale_check_quiet t ~trusted ~part events =
     && Pid.Set.cardinal part > 1
     && List.length views = Pid.Set.cardinal (Pid.Set.remove t.sa_self part)
     && List.for_all
-         (fun (_, pv) -> Pid.Set.equal pv.p_fd trusted && Pid.Set.equal pv.p_part part)
+         (fun (_, pv) ->
+           Intern.set_equal pv.p_fd trusted && Intern.set_equal pv.p_part part)
          views
   in
   let dead_config =
@@ -284,7 +290,7 @@ let brute_force t ~trusted events =
       Pid.Set.for_all
         (fun p ->
           match Pid.Map.find_opt p t.peers with
-          | Some pv -> Pid.Set.equal pv.p_fd trusted
+          | Some pv -> Intern.set_equal pv.p_fd trusted
           | None -> false)
         others
     in
@@ -332,7 +338,7 @@ let delicate t ~part max_ntf events =
         t.installs <- t.installs + 1;
         events := ("recsa.install", Format.asprintf "%a" Pid.pp_set s) :: !events
       end;
-      t.sa_config <- Config_value.Set s;
+      t.sa_config <- Config_value.of_set s;
       finish_replacement t events
     end
   | _ -> ());
@@ -435,16 +441,30 @@ let broadcast t ~trusted =
   end
 
 let receive t ~from m =
+  (* Intern every descriptor as it comes off the wire: this is the single
+     choke point that makes all downstream Definition 3.1 comparisons
+     pointer-equality in the steady state. *)
   let prp = if Notification.malformed m.m_prp then Notification.default else m.m_prp in
+  let echo =
+    match m.m_echo with
+    | None -> None
+    | Some e ->
+      Some
+        {
+          e_part = Intern.pid_set e.e_part;
+          e_prp = Notification.intern e.e_prp;
+          e_all = e.e_all;
+        }
+  in
   t.peers <-
     Pid.Map.add from
       {
-        p_fd = m.m_fd;
-        p_part = m.m_part;
-        p_config = m.m_config;
-        p_prp = prp;
+        p_fd = Intern.pid_set m.m_fd;
+        p_part = Intern.pid_set m.m_part;
+        p_config = Config_value.intern m.m_config;
+        p_prp = Notification.intern prp;
         p_all = m.m_all;
-        p_echo = m.m_echo;
+        p_echo = echo;
       }
       t.peers
 
@@ -454,7 +474,7 @@ let estab t ~trusted set =
     && (not (Pid.Set.is_empty set))
     && not (Config_value.equal t.sa_config (Config_value.Set set))
   then begin
-    t.sa_prp <- Notification.make Notification.P1 set;
+    t.sa_prp <- Notification.intern (Notification.make Notification.P1 set);
     t.sa_all <- false;
     t.sa_allseen <- Pid.Set.empty;
     true
@@ -464,7 +484,7 @@ let estab t ~trusted set =
 let participate t ~trusted =
   if is_participant t then true
   else if no_reco t ~trusted then begin
-    t.sa_config <- chs_config t ~trusted;
+    t.sa_config <- Config_value.intern (chs_config t ~trusted);
     is_participant t
   end
   else false
@@ -497,7 +517,7 @@ let stale_types t ~trusted =
     let collect acc (n : Notification.t) =
       match (n.phase, n.set) with
       | Notification.P2, Some s ->
-        if List.exists (Pid.Set.equal s) acc then acc else s :: acc
+        if List.exists (Intern.set_equal s) acc then acc else s :: acc
       | _ -> acc
     in
     List.fold_left (fun acc (_, pv) -> collect acc pv.p_prp) (collect [] t.sa_prp) views
@@ -507,7 +527,8 @@ let stale_types t ~trusted =
     Pid.Set.cardinal part > 1
     && List.length views = Pid.Set.cardinal (Pid.Set.remove t.sa_self part)
     && List.for_all
-         (fun (_, pv) -> Pid.Set.equal pv.p_fd trusted && Pid.Set.equal pv.p_part part)
+         (fun (_, pv) ->
+           Intern.set_equal pv.p_fd trusted && Intern.set_equal pv.p_part part)
          views
   in
   let type4 =

@@ -276,7 +276,7 @@ module Core (R : Runtime.S) = struct
   let view_of ctx n =
     {
       v_self = R.self ctx;
-      v_trusted = Detector.Theta_fd.trusted n.fd;
+      v_trusted = Intern.pid_set (Detector.Theta_fd.trusted n.fd);
       v_recsa = n.sa;
       v_emit = R.emit ctx;
       v_now = R.now ctx;
@@ -323,7 +323,9 @@ module Core (R : Runtime.S) = struct
             done
           | None -> ())
         n.snap;
-      let trusted = Detector.Theta_fd.trusted n.fd in
+      (* interned: this set rides in every broadcast's [m_fd] and seeds every
+         participants-filter this tick, so canonicalize it once here *)
+      let trusted = Intern.pid_set (Detector.Theta_fd.trusted n.fd) in
       let tele = R.telemetry ctx in
       let now = R.now ctx in
       let emit_all =

@@ -5,26 +5,49 @@ type stats = {
   mutable duplicated : int;
 }
 
+(* Fixed-capacity ring buffer. [buf] stays [||] until the first packet
+   arrives (there is no manifest dummy value for ['a]); afterwards it is a
+   [cap]-slot array and the queue occupies [len] slots starting at [head].
+   Slot [i] of the queue (head-first) lives at [buf.((head + i) mod cap)].
+   Sends and overflow-victim replacement are O(1) and allocation-free;
+   removal at a queue index shifts the shorter side of the ring (at most
+   cap/2 slots, still allocation-free). Vacated slots keep their last
+   packet until overwritten — packets are small protocol messages, so the
+   retained reference is harmless. *)
 type 'a t = {
   cap : int;
-  mutable queue : 'a list; (* head = oldest *)
+  mutable buf : 'a array;
+  mutable head : int;
   mutable len : int;
   st : stats;
 }
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Channel.create: capacity must be positive";
-  { cap = capacity; queue = []; len = 0; st = { sent = 0; dropped = 0; delivered = 0; duplicated = 0 } }
+  {
+    cap = capacity;
+    buf = [||];
+    head = 0;
+    len = 0;
+    st = { sent = 0; dropped = 0; delivered = 0; duplicated = 0 };
+  }
 
 let capacity t = t.cap
 let length t = t.len
 let is_empty t = t.len = 0
 let stats t = t.st
 
+let slot t i =
+  let j = t.head + i in
+  if j >= t.cap then j - t.cap else j
+
+let ensure_buf t pkt = if Array.length t.buf = 0 then t.buf <- Array.make t.cap pkt
+
 let send t rng pkt =
   t.st.sent <- t.st.sent + 1;
   if t.len < t.cap then begin
-    t.queue <- t.queue @ [ pkt ];
+    ensure_buf t pkt;
+    t.buf.(slot t t.len) <- pkt;
     t.len <- t.len + 1
   end
   else begin
@@ -32,19 +55,28 @@ let send t rng pkt =
     if Rng.bool rng then begin
       (* replace a random queued packet by the new one *)
       let victim = Rng.int rng t.len in
-      t.queue <- List.mapi (fun i p -> if i = victim then pkt else p) t.queue
+      t.buf.(slot t victim) <- pkt
     end
     (* else: the new packet itself is omitted *)
   end
 
+(* Remove the [n]-th queued packet (head-first), preserving the relative
+   order of the others — the exact semantics of the previous list
+   representation, which seeded runs depend on. *)
 let remove_nth t n =
-  let rec go i acc = function
-    | [] -> assert false
-    | x :: rest ->
-      if i = n then (x, List.rev_append acc rest) else go (i + 1) (x :: acc) rest
-  in
-  let x, rest = go 0 [] t.queue in
-  t.queue <- rest;
+  let x = t.buf.(slot t n) in
+  if n < t.len - 1 - n then begin
+    (* fewer packets before [n]: shift the prefix towards the tail *)
+    for i = n downto 1 do
+      t.buf.(slot t i) <- t.buf.(slot t (i - 1))
+    done;
+    t.head <- slot t 1
+  end
+  else
+    (* fewer packets after [n]: shift the suffix towards the head *)
+    for i = n to t.len - 2 do
+      t.buf.(slot t i) <- t.buf.(slot t (i + 1))
+    done;
   t.len <- t.len - 1;
   x
 
@@ -58,14 +90,11 @@ let take t rng ~reorder =
   end
 
 let duplicate_head t =
-  match t.queue with
-  | [] -> ()
-  | pkt :: _ ->
-    if t.len < t.cap then begin
-      t.queue <- t.queue @ [ pkt ];
-      t.len <- t.len + 1;
-      t.st.duplicated <- t.st.duplicated + 1
-    end
+  if t.len > 0 && t.len < t.cap then begin
+    t.buf.(slot t t.len) <- t.buf.(t.head);
+    t.len <- t.len + 1;
+    t.st.duplicated <- t.st.duplicated + 1
+  end
 
 let drop_one t rng =
   if t.len > 0 then begin
@@ -75,16 +104,18 @@ let drop_one t rng =
   end
 
 let clear t =
-  t.queue <- [];
+  t.head <- 0;
   t.len <- 0
 
 let corrupt t pkts =
-  let rec truncate n = function
-    | [] -> []
-    | _ when n = 0 -> []
-    | x :: rest -> x :: truncate (n - 1) rest
-  in
-  t.queue <- truncate t.cap pkts;
-  t.len <- List.length t.queue
+  clear t;
+  List.iter
+    (fun pkt ->
+      if t.len < t.cap then begin
+        ensure_buf t pkt;
+        t.buf.(t.len) <- pkt;
+        t.len <- t.len + 1
+      end)
+    pkts
 
-let contents t = t.queue
+let contents t = List.init t.len (fun i -> t.buf.(slot t i))

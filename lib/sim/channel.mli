@@ -6,7 +6,13 @@
     packets, but fair communication holds: a packet re-sent infinitely often
     is delivered infinitely often (the simulator schedules deliveries with a
     loss probability strictly below one). After a transient fault a channel
-    may contain arbitrary stale packets; [corrupt] injects them. *)
+    may contain arbitrary stale packets; [corrupt] injects them.
+
+    Implemented as a fixed-capacity ring buffer: send, overflow-victim
+    replacement and head operations are O(1) and allocation-free, and both
+    the RNG draw order and the queue semantics (head-first order, removal
+    preserves the relative order of the rest) are exactly those of the
+    original list representation, so seeded runs are unchanged. *)
 
 type 'a t
 

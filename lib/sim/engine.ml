@@ -1,6 +1,10 @@
+(* The per-step context handed to behaviors. A single scratch record per
+   engine is reused across every step (the simulator executes steps strictly
+   sequentially), so the hot path allocates no context; a behavior must not
+   retain its ctx beyond the step that handed it over. *)
 type 'm ctx = {
-  ctx_self : Pid.t;
-  ctx_time : float;
+  mutable ctx_self : Pid.t;
+  mutable ctx_time : float;
   ctx_rng : Rng.t;
   mutable ctx_outbox : (Pid.t * 'm) list; (* reversed *)
   ctx_trace : Trace.t;
@@ -25,33 +29,43 @@ type ('s, 'm) behavior = {
   on_message : 'm ctx -> Pid.t -> 'm -> 's -> 's;
 }
 
-type event_kind =
-  | Timer of Pid.t
-  | Deliver of Pid.t * Pid.t (* src, dst *)
+(* Every pid the engine ever sees (as a node or as a channel endpoint) is
+   assigned a dense slot index; the per-link state (channels, blocks) lives
+   in slot-indexed matrices and events carry packed slot indices, so the
+   per-event hot path is pure array indexing — no hashing, no tuple or
+   variant allocation per event. *)
 
-type event = { at : float; seq : int; kind : event_kind }
+let slot_bits = 15
+let slot_mask = (1 lsl slot_bits) - 1
+let max_slots = 1 lsl slot_bits
+
+(* Pids up to this bound resolve to their slot through a direct-mapped
+   array; larger pids (legal up to 2^key_bits) fall back to a hashtable. *)
+let slot_fast_limit = 1 lsl 16
+
+(* An event's kind packs into one int: bit 0 tags timer (0) vs delivery
+   (1); a timer carries the node's slot, a delivery both endpoint slots. *)
+type event = { at : float; seq : int; kind : int }
+
+let timer_kind slot = slot lsl 1
+let deliver_kind ~src_slot ~dst_slot = (((src_slot lsl slot_bits) lor dst_slot) lsl 1) lor 1
 
 type ('s, 'm) node = {
+  n_pid : Pid.t;
+  n_slot : int;
   mutable n_state : 's;
   mutable n_crashed : bool;
   mutable n_ticks : int;
 }
 
-(* Directed links are keyed by a single int packing both endpoints, so the
-   per-send/per-delivery channel lookups hash an immediate int instead of
-   allocating a (src, dst) tuple. Pids must fit in [key_bits] bits. *)
 let key_bits = Pid.key_bits
 let key_mask = (1 lsl key_bits) - 1
 
-let link_key ~src ~dst =
+let check_pids ~src ~dst =
   if (src lor dst) land lnot key_mask <> 0 then
     invalid_arg
       (Printf.sprintf "Engine: pid out of range (src=%d dst=%d, must be in [0, 2^%d))"
-         src dst key_bits);
-  (src lsl key_bits) lor dst
-
-let key_src k = k lsr key_bits
-let key_dst k = k land key_mask
+         src dst key_bits)
 
 type ('s, 'm) t = {
   behavior : ('s, 'm) behavior;
@@ -64,10 +78,17 @@ type ('s, 'm) t = {
   max_delay : float;
   timer_min : float;
   timer_max : float;
-  nodes : (Pid.t, ('s, 'm) node) Hashtbl.t;
-  channels : (int, 'm Channel.t) Hashtbl.t; (* keyed by [link_key] *)
+  (* slot directory *)
+  slot_tbl : (Pid.t, int) Hashtbl.t; (* pids >= slot_fast_limit *)
+  mutable slot_fast : int array; (* pid -> slot, -1 when unassigned *)
+  mutable pid_of_slot : Pid.t array;
+  mutable node_of_slot : ('s, 'm) node option array;
+  mutable n_slots : int;
+  (* dense per-link state: both matrices are square over the slot space,
+     rows allocated when their source slot is created *)
+  mutable out : 'm Channel.t option array array; (* out.(src).(dst) *)
+  mutable blocked : bool array array;
   queue : event Heap.t;
-  blocked : (int, unit) Hashtbl.t; (* keyed by [link_key] *)
   mutable e_time : float;
   mutable e_seq : int;
   mutable e_steps : int;
@@ -78,6 +99,10 @@ type ('s, 'm) t = {
   mutable e_live : int;
   mutable e_min_ticks : int;
   mutable e_min_count : int;
+  (* cached sorted pid lists, invalidated by [add_node] / [crash] *)
+  mutable cached_pids : Pid.t list option;
+  mutable cached_live : Pid.t list option;
+  scratch : 'm ctx;
   e_trace : Trace.t;
   e_metrics : Metrics.t;
   e_telemetry : Telemetry.t;
@@ -93,33 +118,102 @@ let push_event t ~at kind =
 
 let uniform rng lo hi = lo +. (Rng.float rng *. (hi -. lo))
 
-let schedule_timer t p =
-  push_event t ~at:(t.e_time +. uniform t.e_rng t.timer_min t.timer_max) (Timer p)
+let schedule_timer t slot =
+  push_event t ~at:(t.e_time +. uniform t.e_rng t.timer_min t.timer_max) (timer_kind slot)
 
-let schedule_delivery t ~src ~dst =
-  push_event t ~at:(t.e_time +. uniform t.e_rng t.min_delay t.max_delay) (Deliver (src, dst))
+let schedule_delivery t ~src_slot ~dst_slot =
+  push_event t
+    ~at:(t.e_time +. uniform t.e_rng t.min_delay t.max_delay)
+    (deliver_kind ~src_slot ~dst_slot)
 
-let channel t ~src ~dst =
-  let key = link_key ~src ~dst in
-  match Hashtbl.find_opt t.channels key with
+let find_slot t p =
+  if p >= 0 && p < Array.length t.slot_fast then t.slot_fast.(p)
+  else match Hashtbl.find_opt t.slot_tbl p with Some s -> s | None -> -1
+
+let ensure_slot t p =
+  let s = find_slot t p in
+  if s >= 0 then s
+  else begin
+    check_pids ~src:p ~dst:p;
+    let s = t.n_slots in
+    let cap = Array.length t.pid_of_slot in
+    if s = cap then begin
+      let ncap = min max_slots (max 16 (2 * cap)) in
+      if ncap = cap then invalid_arg "Engine: too many distinct endpoints";
+      let np = Array.make ncap (-1) in
+      Array.blit t.pid_of_slot 0 np 0 cap;
+      t.pid_of_slot <- np;
+      let nn = Array.make ncap None in
+      Array.blit t.node_of_slot 0 nn 0 cap;
+      t.node_of_slot <- nn;
+      let nout = Array.make ncap [||] in
+      let nbl = Array.make ncap [||] in
+      for i = 0 to s - 1 do
+        let row = Array.make ncap None in
+        Array.blit t.out.(i) 0 row 0 cap;
+        nout.(i) <- row;
+        let brow = Array.make ncap false in
+        Array.blit t.blocked.(i) 0 brow 0 cap;
+        nbl.(i) <- brow
+      done;
+      t.out <- nout;
+      t.blocked <- nbl
+    end;
+    let cap = Array.length t.pid_of_slot in
+    t.pid_of_slot.(s) <- p;
+    t.out.(s) <- Array.make cap None;
+    t.blocked.(s) <- Array.make cap false;
+    (if p < slot_fast_limit then begin
+       (if p >= Array.length t.slot_fast then begin
+          let n = ref (max 64 (2 * Array.length t.slot_fast)) in
+          while p >= !n do
+            n := 2 * !n
+          done;
+          let nf = Array.make !n (-1) in
+          Array.blit t.slot_fast 0 nf 0 (Array.length t.slot_fast);
+          t.slot_fast <- nf
+        end);
+       t.slot_fast.(p) <- s
+     end
+     else Hashtbl.replace t.slot_tbl p s);
+    t.n_slots <- s + 1;
+    s
+  end
+
+let channel_of_slots t src_slot dst_slot =
+  let row = t.out.(src_slot) in
+  match row.(dst_slot) with
   | Some ch -> ch
   | None ->
     let ch = Channel.create ~capacity:t.capacity in
-    Hashtbl.add t.channels key ch;
+    row.(dst_slot) <- Some ch;
     ch
 
+let channel t ~src ~dst =
+  let ss = ensure_slot t src in
+  let ds = ensure_slot t dst in
+  channel_of_slots t ss ds
+
+let node_opt t p =
+  let s = find_slot t p in
+  if s < 0 then None else t.node_of_slot.(s)
+
 let node t p =
-  match Hashtbl.find_opt t.nodes p with
+  match node_opt t p with
   | Some n -> n
   | None -> invalid_arg (Printf.sprintf "Engine: unknown node %d" p)
 
 let create ?(seed = 42) ?(capacity = 8) ?(loss = 0.02) ?(dup = 0.02) ?(reorder = true)
     ?(min_delay = 0.5) ?(max_delay = 2.0) ?(timer_min = 0.8) ?(timer_max = 1.2) ~behavior
     ~pids () =
+  let e_rng = Rng.create seed in
+  let e_trace = Trace.create () in
+  let e_metrics = Metrics.create () in
+  let e_telemetry = Telemetry.create () in
   let t =
     {
       behavior;
-      e_rng = Rng.create seed;
+      e_rng;
       capacity;
       loss;
       dup;
@@ -128,29 +222,46 @@ let create ?(seed = 42) ?(capacity = 8) ?(loss = 0.02) ?(dup = 0.02) ?(reorder =
       max_delay;
       timer_min;
       timer_max;
-      nodes = Hashtbl.create 64;
-      channels = Hashtbl.create 256;
+      slot_tbl = Hashtbl.create 16;
+      slot_fast = Array.make 64 (-1);
+      pid_of_slot = Array.make 16 (-1);
+      node_of_slot = Array.make 16 None;
+      n_slots = 0;
+      out = Array.make 16 [||];
+      blocked = Array.make 16 [||];
       queue = Heap.create compare_event;
-      blocked = Hashtbl.create 16;
       e_time = 0.0;
       e_seq = 0;
       e_steps = 0;
       e_live = 0;
       e_min_ticks = 0;
       e_min_count = 0;
-      e_trace = Trace.create ();
-      e_metrics = Metrics.create ();
-      e_telemetry = Telemetry.create ();
+      cached_pids = None;
+      cached_live = None;
+      scratch =
+        {
+          ctx_self = 0;
+          ctx_time = 0.0;
+          ctx_rng = e_rng;
+          ctx_outbox = [];
+          ctx_trace = e_trace;
+          ctx_metrics = e_metrics;
+          ctx_telemetry = e_telemetry;
+        };
+      e_trace;
+      e_metrics;
+      e_telemetry;
     }
   in
   List.iter
     (fun p ->
-      ignore (link_key ~src:p ~dst:p);
-      if Hashtbl.mem t.nodes p then invalid_arg "Engine.create: duplicate pid";
-      Hashtbl.add t.nodes p { n_state = behavior.init p; n_crashed = false; n_ticks = 0 };
+      let s = ensure_slot t p in
+      if t.node_of_slot.(s) <> None then invalid_arg "Engine.create: duplicate pid";
+      t.node_of_slot.(s) <-
+        Some { n_pid = p; n_slot = s; n_state = behavior.init p; n_crashed = false; n_ticks = 0 };
       t.e_live <- t.e_live + 1;
       t.e_min_count <- t.e_min_count + 1;
-      schedule_timer t p)
+      schedule_timer t s)
     pids;
   t
 
@@ -160,14 +271,35 @@ let trace t = t.e_trace
 let metrics t = t.e_metrics
 let telemetry t = t.e_telemetry
 
+let fold_nodes t f acc =
+  let acc = ref acc in
+  for s = 0 to t.n_slots - 1 do
+    match t.node_of_slot.(s) with Some n -> acc := f !acc n | None -> ()
+  done;
+  !acc
+
 let pids t =
-  Hashtbl.fold (fun p _ acc -> p :: acc) t.nodes [] |> List.sort Pid.compare
+  match t.cached_pids with
+  | Some l -> l
+  | None ->
+    let l =
+      fold_nodes t (fun acc n -> n.n_pid :: acc) [] |> List.sort Pid.compare
+    in
+    t.cached_pids <- Some l;
+    l
 
 let live_pids t =
-  Hashtbl.fold (fun p n acc -> if n.n_crashed then acc else p :: acc) t.nodes []
-  |> List.sort Pid.compare
+  match t.cached_live with
+  | Some l -> l
+  | None ->
+    let l =
+      fold_nodes t (fun acc n -> if n.n_crashed then acc else n.n_pid :: acc) []
+      |> List.sort Pid.compare
+    in
+    t.cached_live <- Some l;
+    l
 
-let is_live t p = match Hashtbl.find_opt t.nodes p with Some n -> not n.n_crashed | None -> false
+let is_live t p = match node_opt t p with Some n -> not n.n_crashed | None -> false
 let state t p = (node t p).n_state
 
 let rounds t = if t.e_live = 0 then 0 else t.e_min_ticks
@@ -177,17 +309,17 @@ let rounds t = if t.e_live = 0 then 0 else t.e_min_ticks
    set emptied — i.e. when the minimum may have moved. *)
 let recompute_rounds t =
   let mn = ref max_int and cnt = ref 0 and live = ref 0 in
-  Hashtbl.iter
-    (fun _ n ->
-      if not n.n_crashed then begin
-        incr live;
-        if n.n_ticks < !mn then begin
-          mn := n.n_ticks;
-          cnt := 1
-        end
-        else if n.n_ticks = !mn then incr cnt
-      end)
-    t.nodes;
+  for s = 0 to t.n_slots - 1 do
+    match t.node_of_slot.(s) with
+    | Some n when not n.n_crashed ->
+      incr live;
+      if n.n_ticks < !mn then begin
+        mn := n.n_ticks;
+        cnt := 1
+      end
+      else if n.n_ticks = !mn then incr cnt
+    | Some _ | None -> ()
+  done;
   t.e_live <- !live;
   t.e_min_ticks <- (if !live = 0 then 0 else !mn);
   t.e_min_count <- !cnt
@@ -205,15 +337,24 @@ let steps t = t.e_steps
 let set_state t p s = (node t p).n_state <- s
 
 let map_states t f =
-  Hashtbl.iter (fun p n -> if not n.n_crashed then n.n_state <- f p n.n_state) t.nodes
+  for s = 0 to t.n_slots - 1 do
+    match t.node_of_slot.(s) with
+    | Some n when not n.n_crashed -> n.n_state <- f n.n_pid n.n_state
+    | Some _ | None -> ()
+  done
 
 let corrupt_channel t ~src ~dst pkts = Channel.corrupt (channel t ~src ~dst) pkts
-let clear_channels t = Hashtbl.iter (fun _ ch -> Channel.clear ch) t.channels
+
+let clear_channels t =
+  Array.iter
+    (fun row -> Array.iter (function Some ch -> Channel.clear ch | None -> ()) row)
+    t.out
 
 let crash t p =
   let n = node t p in
   if not n.n_crashed then begin
     n.n_crashed <- true;
+    t.cached_live <- None;
     t.e_live <- t.e_live - 1;
     if n.n_ticks = t.e_min_ticks then begin
       t.e_min_count <- t.e_min_count - 1;
@@ -223,11 +364,13 @@ let crash t p =
   Trace.record t.e_trace ~time:t.e_time ~node:p ~tag:"crash" ""
 
 let add_node t p =
-  ignore (link_key ~src:p ~dst:p);
-  if Hashtbl.mem t.nodes p then invalid_arg "Engine.add_node: pid exists";
+  let s = ensure_slot t p in
+  if t.node_of_slot.(s) <> None then invalid_arg "Engine.add_node: pid exists";
   let r = rounds t in
-  Hashtbl.add t.nodes p
-    { n_state = t.behavior.init p; n_crashed = false; n_ticks = r };
+  t.node_of_slot.(s) <-
+    Some { n_pid = p; n_slot = s; n_state = t.behavior.init p; n_crashed = false; n_ticks = r };
+  t.cached_pids <- None;
+  t.cached_live <- None;
   (* the fresh node starts at the current round count, so it joins the set
      of nodes sitting at the cached minimum *)
   if t.e_live = 0 then begin
@@ -237,17 +380,32 @@ let add_node t p =
   else t.e_min_count <- t.e_min_count + 1;
   t.e_live <- t.e_live + 1;
   (* snap-stabilizing link establishment: links of a fresh connection are
-     cleaned of stale packets before use (Section 2) *)
-  Hashtbl.iter
-    (fun key ch ->
-      if Pid.equal (key_src key) p || Pid.equal (key_dst key) p then Channel.clear ch)
-    t.channels;
-  schedule_timer t p;
+     cleaned of stale packets before use (Section 2) — exactly the links in
+     row [s] (p as sender) and column [s] (p as receiver), no full scan *)
+  Array.iter (function Some ch -> Channel.clear ch | None -> ()) t.out.(s);
+  for i = 0 to t.n_slots - 1 do
+    let row = t.out.(i) in
+    match row.(s) with Some ch -> Channel.clear ch | None -> ()
+  done;
+  schedule_timer t s;
   Trace.record t.e_trace ~time:t.e_time ~node:p ~tag:"join" ""
 
-let link_blocked t ~src ~dst = Hashtbl.mem t.blocked (link_key ~src ~dst)
-let block_link t ~src ~dst = Hashtbl.replace t.blocked (link_key ~src ~dst) ()
-let unblock_link t ~src ~dst = Hashtbl.remove t.blocked (link_key ~src ~dst)
+let link_blocked t ~src ~dst =
+  let ss = find_slot t src in
+  if ss < 0 then false
+  else
+    let ds = find_slot t dst in
+    ds >= 0 && t.blocked.(ss).(ds)
+
+let block_link t ~src ~dst =
+  let ss = ensure_slot t src in
+  let ds = ensure_slot t dst in
+  t.blocked.(ss).(ds) <- true
+
+let unblock_link t ~src ~dst =
+  let ss = find_slot t src in
+  let ds = find_slot t dst in
+  if ss >= 0 && ds >= 0 then t.blocked.(ss).(ds) <- false
 
 let partition t group =
   let all = pids t in
@@ -265,15 +423,15 @@ let partition t group =
     (Format.asprintf "%a" Pid.pp_set group)
 
 let heal t =
-  Hashtbl.reset t.blocked;
+  Array.iter (fun row -> Array.fill row 0 (Array.length row) false) t.blocked;
   Trace.record t.e_trace ~time:t.e_time ~tag:"heal" ""
 
-let flush_outbox t ctx =
-  let src = ctx.ctx_self in
+let flush_outbox t ~src_slot ctx =
   List.iter
     (fun (dst, msg) ->
-      let ch = channel t ~src ~dst in
-      if link_blocked t ~src ~dst then begin
+      let dst_slot = ensure_slot t dst in
+      let ch = channel_of_slots t src_slot dst_slot in
+      if t.blocked.(src_slot).(dst_slot) then begin
         let st = Channel.stats ch in
         st.Channel.dropped <- st.Channel.dropped + 1
       end
@@ -281,48 +439,54 @@ let flush_outbox t ctx =
         Channel.send ch t.e_rng msg;
         (* duplication: occasionally schedule an extra delivery attempt *)
         if Rng.chance t.e_rng t.dup then Channel.duplicate_head ch;
-        schedule_delivery t ~src ~dst
+        schedule_delivery t ~src_slot ~dst_slot
       end)
     (List.rev ctx.ctx_outbox);
   ctx.ctx_outbox <- []
 
 let exec_step t kind =
-  match kind with
-  | Timer p -> (
-    match Hashtbl.find_opt t.nodes p with
+  if kind land 1 = 0 then begin
+    (* timer *)
+    let slot = kind lsr 1 in
+    match t.node_of_slot.(slot) with
     | None -> ()
     | Some n ->
-    if not n.n_crashed then begin
-      let ctx =
-        { ctx_self = p; ctx_time = t.e_time; ctx_rng = t.e_rng; ctx_outbox = [];
-          ctx_trace = t.e_trace; ctx_metrics = t.e_metrics;
-          ctx_telemetry = t.e_telemetry }
-      in
-      n.n_state <- t.behavior.on_timer ctx n.n_state;
-      note_tick t n;
-      flush_outbox t ctx;
-      schedule_timer t p
-    end)
-  | Deliver (src, dst) -> (
-    match Hashtbl.find_opt t.nodes dst with
+      if not n.n_crashed then begin
+        let ctx = t.scratch in
+        ctx.ctx_self <- n.n_pid;
+        ctx.ctx_time <- t.e_time;
+        ctx.ctx_outbox <- [];
+        n.n_state <- t.behavior.on_timer ctx n.n_state;
+        note_tick t n;
+        flush_outbox t ~src_slot:slot ctx;
+        schedule_timer t slot
+      end
+  end
+  else begin
+    (* delivery *)
+    let packed = kind lsr 1 in
+    let src_slot = packed lsr slot_bits in
+    let dst_slot = packed land slot_mask in
+    match t.node_of_slot.(dst_slot) with
     | None -> ()
     | Some n ->
-    if not n.n_crashed then begin
-      let ch = channel t ~src ~dst in
-      if link_blocked t ~src ~dst then Channel.drop_one ch t.e_rng
-      else if Rng.chance t.e_rng t.loss then Channel.drop_one ch t.e_rng
-      else
-        match Channel.take ch t.e_rng ~reorder:t.reorder with
-        | None -> ()
-        | Some msg ->
-          let ctx =
-            { ctx_self = dst; ctx_time = t.e_time; ctx_rng = t.e_rng; ctx_outbox = [];
-              ctx_trace = t.e_trace; ctx_metrics = t.e_metrics;
-              ctx_telemetry = t.e_telemetry }
-          in
-          n.n_state <- t.behavior.on_message ctx src msg n.n_state;
-          flush_outbox t ctx
-    end)
+      if not n.n_crashed then begin
+        let ch = channel_of_slots t src_slot dst_slot in
+        if t.blocked.(src_slot).(dst_slot) then Channel.drop_one ch t.e_rng
+        else if Rng.chance t.e_rng t.loss then Channel.drop_one ch t.e_rng
+        else
+          match Channel.take ch t.e_rng ~reorder:t.reorder with
+          | None -> ()
+          | Some msg ->
+            let ctx = t.scratch in
+            ctx.ctx_self <- n.n_pid;
+            ctx.ctx_time <- t.e_time;
+            ctx.ctx_outbox <- [];
+            n.n_state <-
+              t.behavior.on_message ctx t.pid_of_slot.(src_slot) msg n.n_state;
+            flush_outbox t ~src_slot:dst_slot ctx
+      end
+  end
 
 let step t =
   if Heap.is_empty t.queue then false

@@ -23,14 +23,19 @@ let compare_sets_lex a b =
   (* Sets as ascending tuples; shorter prefix-equal set is smaller. Walk the
      sets lazily instead of materializing both element lists: the comparison
      usually decides within the first few elements, and this sits on
-     recSA's deterministic-choose path which runs every tick. *)
-  let rec go sa sb =
-    match (sa (), sb ()) with
-    | Seq.Nil, Seq.Nil -> 0
-    | Seq.Nil, Seq.Cons _ -> -1
-    | Seq.Cons _, Seq.Nil -> 1
-    | Seq.Cons (x, sa'), Seq.Cons (y, sb') ->
-      let c = Int.compare x y in
-      if c <> 0 then c else go sa' sb'
-  in
-  go (Set.to_seq a) (Set.to_seq b)
+     recSA's deterministic-choose path which runs every tick. Interned sets
+     (Reconfig.Intern) make the physical-equality fast path hit often. *)
+  if a == b then 0
+  else
+    let rec go sa sb =
+      match (sa (), sb ()) with
+      | Seq.Nil, Seq.Nil -> 0
+      | Seq.Nil, Seq.Cons _ -> -1
+      | Seq.Cons _, Seq.Nil -> 1
+      | Seq.Cons (x, sa'), Seq.Cons (y, sb') ->
+        let c = Int.compare x y in
+        if c <> 0 then c else go sa' sb'
+    in
+    go (Set.to_seq a) (Set.to_seq b)
+
+let equal_sets a b = a == b || Set.equal a b

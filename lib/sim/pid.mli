@@ -26,5 +26,10 @@ val set_of_list : t list -> Set.t
 val pp_set : Format.formatter -> Set.t -> unit
 
 (** Lexicographic comparison of processor sets viewed as ascending tuples,
-    as required by the paper's [<=lex] on proposal sets (Section 3.1). *)
+    as required by the paper's [<=lex] on proposal sets (Section 3.1).
+    Physically equal sets compare equal without walking them. *)
 val compare_sets_lex : Set.t -> Set.t -> int
+
+(** Set equality with a physical-equality fast path; interned sets
+    ([Reconfig.Intern.pid_set]) usually decide in one pointer compare. *)
+val equal_sets : Set.t -> Set.t -> bool

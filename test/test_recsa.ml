@@ -289,14 +289,17 @@ let test_replacement_exposes_only_old_or_new () =
           | Config_value.Reset -> ok := false
           | Config_value.Not_participant -> ())
         (Stack.live_nodes sys);
-      if Stack.quiescent sys && Stack.uniform_config sys = Some target then ()
+      if
+        Stack.quiescent sys
+        && Option.equal Pid.Set.equal (Stack.uniform_config sys) (Some target)
+      then ()
       else sample (k - 1)
     end
   in
   sample 200;
   Alcotest.(check bool) "only old or new configurations ever visible" true !ok;
   Alcotest.(check bool) "replacement completed" true
-    (Stack.uniform_config sys = Some target)
+    (Option.equal Pid.Set.equal (Stack.uniform_config sys) (Some target))
 
 (* --- stale-information classification (Definition 3.1) --- *)
 
@@ -541,6 +544,31 @@ let prop_chaos_convergence =
       in
       wait 150)
 
+(* --- descriptor interning --------------------------------------------- *)
+
+(* Structurally equal descriptors intern to one physical object, so the
+   Definition 3.1 conflict checks hit their pointer-equality fast paths;
+   unequal descriptors must never be conflated. *)
+let test_interning_physical_equality () =
+  (* two structurally equal sets with different AVL shapes *)
+  let asc = Pid.set_of_list [ 1; 2; 3; 4; 5; 6; 7 ] in
+  let desc = List.fold_left (fun s p -> Pid.Set.add p s) Pid.Set.empty [ 7; 6; 5; 4; 3; 2; 1 ] in
+  Alcotest.(check bool) "structurally equal" true (Pid.Set.equal asc desc);
+  Alcotest.(check bool) "sets intern to one object" true
+    (Reconfig.Intern.pid_set asc == Reconfig.Intern.pid_set desc);
+  let c1 = Reconfig.Config_value.of_set asc in
+  let c2 = Reconfig.Config_value.intern (Reconfig.Config_value.Set desc) in
+  Alcotest.(check bool) "equal configs physically equal" true (c1 == c2);
+  let other = Reconfig.Config_value.of_set (Pid.set_of_list [ 1; 2; 3 ]) in
+  Alcotest.(check bool) "unequal configs stay distinct" false
+    (Reconfig.Config_value.equal c1 other);
+  Alcotest.(check bool) "unequal configs not conflated" true (c1 != other);
+  let n1 = Reconfig.Notification.intern (Reconfig.Notification.make Reconfig.Notification.P2 asc) in
+  let n2 = Reconfig.Notification.intern (Reconfig.Notification.make Reconfig.Notification.P2 desc) in
+  Alcotest.(check bool) "equal notifications physically equal" true (n1 == n2);
+  let n3 = Reconfig.Notification.intern (Reconfig.Notification.make Reconfig.Notification.P1 asc) in
+  Alcotest.(check bool) "phase distinguishes notifications" true (n1 != n3)
+
 let suites =
   [
     ( "reconfig.values",
@@ -588,6 +616,7 @@ let suites =
         Alcotest.test_case "type-3 detected" `Quick test_stale_type3_detected;
         Alcotest.test_case "stale report + recovery" `Quick test_stale_report_after_corruption;
         Alcotest.test_case "closure (Thm 3.16)" `Quick test_closure_theorem;
+        Alcotest.test_case "descriptor interning" `Quick test_interning_physical_equality;
       ] );
     ( "reconfig.partitions",
       [

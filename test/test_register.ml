@@ -117,7 +117,8 @@ let test_value_survives_reconfiguration () =
   propose 60;
   Alcotest.(check bool) "reconfigured" true
     (Reconfig.Stack.run_until sys ~max_steps:1_200_000 (fun t ->
-         Reconfig.Stack.uniform_config t = Some target && Reconfig.Stack.quiescent t));
+         Option.equal Pid.Set.equal (Reconfig.Stack.uniform_config t) (Some target)
+         && Reconfig.Stack.quiescent t));
   (* the value is still readable in the new configuration *)
   Register_service.read (app sys 4) ~rid:2 "s";
   Alcotest.(check bool) "read in new config" true

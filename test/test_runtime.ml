@@ -262,7 +262,10 @@ let test_stack_on_both_runtimes () =
     | Some c -> Pid.pp_set fmt c
     | None -> Format.fprintf fmt "<none>"
   in
-  let conf = Alcotest.testable pp_conf ( = ) in
+  (* compare with set equality, not polymorphic [=]: equal sets may have
+     different internal tree shapes (interning canonicalizes across
+     construction paths) *)
+  let conf = Alcotest.testable pp_conf (Option.equal Pid.Set.equal) in
   Alcotest.check conf "sim agrees on the bootstrap configuration" expect
     (Stack.uniform_config sim);
   Alcotest.check conf "loop agrees on the same configuration" expect

@@ -332,6 +332,162 @@ let test_engine_run_rounds_unchanged () =
   Alcotest.(check int) "same trace length" t1 t2;
   Alcotest.(check (list int)) "same final states" v1 v2
 
+(* --- Channel ring buffer vs the list reference model --- *)
+
+(* The previous Channel implementation: a plain list with the same RNG
+   draw discipline. The ring buffer must agree with it op for op — seeded
+   runs depend on that equivalence. *)
+module Ref_channel = struct
+  type 'a t = {
+    cap : int;
+    mutable q : 'a list;
+    mutable sent : int;
+    mutable dropped : int;
+    mutable delivered : int;
+    mutable duplicated : int;
+  }
+
+  let create ~capacity =
+    { cap = capacity; q = []; sent = 0; dropped = 0; delivered = 0; duplicated = 0 }
+
+  let remove_nth l n =
+    let rec go i acc = function
+      | [] -> assert false
+      | x :: rest ->
+        if i = n then (x, List.rev_append acc rest) else go (i + 1) (x :: acc) rest
+    in
+    go 0 [] l
+
+  let replace_nth l n v = List.mapi (fun i x -> if i = n then v else x) l
+
+  let send t rng pkt =
+    t.sent <- t.sent + 1;
+    let len = List.length t.q in
+    if len < t.cap then t.q <- t.q @ [ pkt ]
+    else begin
+      t.dropped <- t.dropped + 1;
+      if Rng.bool rng then t.q <- replace_nth t.q (Rng.int rng len) pkt
+    end
+
+  let take t rng ~reorder =
+    match t.q with
+    | [] -> None
+    | _ ->
+      let len = List.length t.q in
+      let idx = if reorder then Rng.int rng len else 0 in
+      let pkt, rest = remove_nth t.q idx in
+      t.q <- rest;
+      t.delivered <- t.delivered + 1;
+      Some pkt
+
+  let duplicate_head t =
+    match t.q with
+    | hd :: _ when List.length t.q < t.cap ->
+      t.q <- t.q @ [ hd ];
+      t.duplicated <- t.duplicated + 1
+    | _ -> ()
+
+  let drop_one t rng =
+    match t.q with
+    | [] -> ()
+    | _ ->
+      let _, rest = remove_nth t.q (Rng.int rng (List.length t.q)) in
+      t.q <- rest;
+      t.dropped <- t.dropped + 1
+
+  let corrupt t pkts =
+    let rec take_n n = function
+      | x :: rest when n > 0 -> x :: take_n (n - 1) rest
+      | _ -> []
+    in
+    t.q <- take_n t.cap pkts
+end
+
+let test_channel_matches_list_model () =
+  List.iter
+    (fun seed ->
+      let rng_ring = Rng.create seed and rng_ref = Rng.create seed in
+      let ops = Rng.create (seed * 31) in
+      let ring = Channel.create ~capacity:4 in
+      let refc = Ref_channel.create ~capacity:4 in
+      for i = 1 to 2_000 do
+        (match Rng.int ops 8 with
+        | 0 | 1 | 2 | 3 ->
+          Channel.send ring rng_ring i;
+          Ref_channel.send refc rng_ref i
+        | 4 ->
+          let a = Channel.take ring rng_ring ~reorder:true in
+          let b = Ref_channel.take refc rng_ref ~reorder:true in
+          Alcotest.(check (option int)) "take reorder" b a
+        | 5 ->
+          let a = Channel.take ring rng_ring ~reorder:false in
+          let b = Ref_channel.take refc rng_ref ~reorder:false in
+          Alcotest.(check (option int)) "take fifo" b a
+        | 6 ->
+          Channel.duplicate_head ring;
+          Ref_channel.duplicate_head refc
+        | _ ->
+          Channel.drop_one ring rng_ring;
+          Ref_channel.drop_one refc rng_ref);
+        Alcotest.(check (list int)) "contents agree" refc.Ref_channel.q
+          (Channel.contents ring)
+      done;
+      (* corruption resets contents through a different path *)
+      Channel.corrupt ring [ 7; 8; 9; 10; 11 ];
+      Ref_channel.corrupt refc [ 7; 8; 9; 10; 11 ];
+      Alcotest.(check (list int)) "contents after corrupt" refc.Ref_channel.q
+        (Channel.contents ring);
+      let st = Channel.stats ring in
+      Alcotest.(check int) "sent" refc.Ref_channel.sent st.Channel.sent;
+      Alcotest.(check int) "dropped" refc.Ref_channel.dropped st.Channel.dropped;
+      Alcotest.(check int) "delivered" refc.Ref_channel.delivered st.Channel.delivered;
+      Alcotest.(check int) "duplicated" refc.Ref_channel.duplicated st.Channel.duplicated)
+    [ 1; 17; 4242 ]
+
+(* --- Heap vs a sorted-list model, interleaved pushes and pops --- *)
+
+let test_heap_matches_sorted_model () =
+  List.iter
+    (fun seed ->
+      let rng = Rng.create seed in
+      let h = Heap.create Int.compare in
+      let model = ref [] in
+      for _ = 1 to 3_000 do
+        if Rng.int rng 3 < 2 || !model = [] then begin
+          let v = Rng.int rng 1_000 in
+          Heap.push h v;
+          model := List.merge Int.compare [ v ] !model
+        end
+        else begin
+          match !model with
+          | m :: rest ->
+            Alcotest.(check int) "peek is min" m (Heap.peek h);
+            Alcotest.(check int) "pop is min" m (Heap.pop h);
+            model := rest
+          | [] -> assert false
+        end;
+        Alcotest.(check int) "size agrees" (List.length !model) (Heap.size h)
+      done)
+    [ 2; 23 ]
+
+(* --- pids/live_pids caches survive membership changes --- *)
+
+let test_engine_pids_cache_invalidation () =
+  let all = [ 1; 2; 3; 4 ] in
+  let eng = Engine.create ~seed:31 ~behavior:(gossip_behavior all) ~pids:[ 3; 1; 2 ] () in
+  Alcotest.(check (list int)) "pids sorted" [ 1; 2; 3 ] (Engine.pids eng);
+  (* hit the cache once, then mutate membership *)
+  Alcotest.(check (list int)) "live = pids" (Engine.pids eng) (Engine.live_pids eng);
+  Engine.add_node eng 4;
+  Alcotest.(check (list int)) "pids after join" [ 1; 2; 3; 4 ] (Engine.pids eng);
+  Alcotest.(check (list int)) "live after join" [ 1; 2; 3; 4 ] (Engine.live_pids eng);
+  Engine.crash eng 2;
+  Alcotest.(check (list int)) "pids keep crashed node" [ 1; 2; 3; 4 ] (Engine.pids eng);
+  Alcotest.(check (list int)) "live drop crashed node" [ 1; 3; 4 ] (Engine.live_pids eng);
+  (* crash is idempotent on the cache *)
+  Engine.crash eng 2;
+  Alcotest.(check (list int)) "idempotent crash" [ 1; 3; 4 ] (Engine.live_pids eng)
+
 let suites =
   [
     ( "sim.pid",
@@ -351,6 +507,7 @@ let suites =
       [
         Alcotest.test_case "sorts" `Quick test_heap_sorts;
         Alcotest.test_case "empty raises" `Quick test_heap_empty_raises;
+        Alcotest.test_case "matches sorted-list model" `Quick test_heap_matches_sorted_model;
         qtest prop_heap_pop_order;
       ] );
     ( "sim.channel",
@@ -358,6 +515,8 @@ let suites =
         Alcotest.test_case "capacity bound" `Quick test_channel_capacity;
         Alcotest.test_case "fifo without reorder" `Quick test_channel_fifo_without_reorder;
         Alcotest.test_case "corrupt and clear" `Quick test_channel_corrupt_and_clear;
+        Alcotest.test_case "matches list reference model" `Quick
+          test_channel_matches_list_model;
       ] );
     ( "sim.trace",
       [
@@ -380,5 +539,7 @@ let suites =
         Alcotest.test_case "rounds: all crashed" `Quick test_engine_rounds_all_crashed;
         Alcotest.test_case "rounds: add node" `Quick test_engine_rounds_add_node;
         Alcotest.test_case "run_rounds unchanged" `Quick test_engine_run_rounds_unchanged;
+        Alcotest.test_case "pids cache invalidation" `Quick
+          test_engine_pids_cache_invalidation;
       ] );
   ]

@@ -220,8 +220,8 @@ let run_telemetry () =
   let n = 5 and seed = 7 in
   let members = List.init n (fun i -> i + 1) in
   let sys =
-    Reconfig.Stack.create ~seed ~loss:0.02 ~n_bound:(2 * n)
-      ~hooks:Reconfig.Stack.unit_hooks ~members ()
+    Reconfig.Stack.of_scenario ~hooks:Reconfig.Stack.unit_hooks
+      (Reconfig.Scenario.make ~seed ~loss:0.02 ~n_bound:(2 * n) ~members ())
   in
   Reconfig.Stack.run_rounds sys 30;
   Reconfig.Stack.corrupt_everything sys ~rng:(Sim.Rng.create (seed + 1));

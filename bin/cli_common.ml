@@ -1,0 +1,123 @@
+(* Shared command-line vocabulary for reconfig-sim.
+
+   Every subcommand that runs a system is configured the same way: the
+   flags below build one Reconfig.Scenario.t (topology, seed, channel
+   model, fault plan, sink paths), and the subcommand hands it to
+   Stack.of_scenario / Stack_loop.of_scenario. Adding a knob means adding
+   it here once, not in five argument lists. *)
+
+open Cmdliner
+open Reconfig
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Harness.Pool.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Run simulation cells on $(docv) domains. Table output is \
+           byte-identical for any job count (default: the number of \
+           available cores).")
+
+let n_arg =
+  Arg.(value & opt int 5 & info [ "n" ] ~docv:"N" ~doc:"Number of initial members.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let loss_arg =
+  Arg.(value & opt float 0.02 & info [ "loss" ] ~docv:"P" ~doc:"Packet loss probability.")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's telemetry registry to $(docv) in Prometheus text \
+           exposition format.")
+
+let metrics_jsonl_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-jsonl" ] ~docv:"FILE"
+        ~doc:"Write the run's telemetry registry to $(docv) as JSON Lines.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Write the run's event trace to $(docv) as JSON Lines.")
+
+(* The scenario every run-flavoured subcommand shares. The fault plan rides
+   separately ({!plan_term}) because only some subcommands accept one. *)
+let scenario_term ?(name = "scenario") () =
+  let build n seed loss jobs metrics_out metrics_jsonl trace_out =
+    Scenario.make ~name ~seed ~loss ~jobs ?metrics_out ?metrics_jsonl
+      ?trace_out ~nodes:n ()
+  in
+  Term.(
+    const build $ n_arg $ seed_arg $ loss_arg $ jobs_arg $ metrics_out_arg
+    $ metrics_jsonl_arg $ trace_out_arg)
+
+let plan_term =
+  let plan_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan" ] ~docv:"FILE" ~doc:"Load the fault plan from $(docv) (JSON).")
+  in
+  let plan_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan-json" ] ~docv:"JSON" ~doc:"Inline fault plan as JSON text.")
+  in
+  let build file json =
+    match (file, json) with
+    | Some _, Some _ ->
+      `Error (true, "--plan and --plan-json are mutually exclusive")
+    | None, None -> `Ok None
+    | Some f, None -> (
+      match Faults.Fault_plan.of_file f with
+      | Ok p -> `Ok (Some p)
+      | Error e -> `Error (false, Printf.sprintf "--plan %s: %s" f e))
+    | None, Some s -> (
+      match Faults.Fault_plan.of_json s with
+      | Ok p -> `Ok (Some p)
+      | Error e -> `Error (false, Printf.sprintf "--plan-json: %s" e))
+  in
+  Term.(ret (const build $ plan_file $ plan_json))
+
+(* One trace entry as a JSON object (one line of JSONL output). *)
+let entry_json e =
+  Printf.sprintf "{\"time\":%s,\"node\":%s,\"tag\":\"%s\",\"detail\":\"%s\"}"
+    (Telemetry.Export.json_float e.Sim.Trace.time)
+    (match e.Sim.Trace.node with Some p -> string_of_int p | None -> "null")
+    (Telemetry.Export.json_escape e.Sim.Trace.tag)
+    (Telemetry.Export.json_escape e.Sim.Trace.detail)
+
+(* Write the run's telemetry/trace to whichever sinks the scenario names.
+   All three renderings are deterministic for a fixed seed: the registry
+   never reads wall clocks and exports are sorted. *)
+let export ~tele ~trace (sc : Scenario.t) =
+  let dump path render =
+    match path with
+    | None -> ()
+    | Some path ->
+      let buf = Buffer.create 4096 in
+      render buf;
+      let oc = open_out path in
+      Buffer.output_buffer oc buf;
+      close_out oc;
+      Format.printf "wrote %s@." path
+  in
+  dump sc.Scenario.sc_metrics_out (fun buf -> Telemetry.Export.prometheus buf tele);
+  dump sc.Scenario.sc_metrics_jsonl (fun buf ->
+      Telemetry.Export.metrics_jsonl buf tele);
+  dump sc.Scenario.sc_trace_out (fun buf ->
+      Sim.Trace.iter trace (fun e ->
+          Buffer.add_string buf (entry_json e);
+          Buffer.add_char buf '\n'))

@@ -2,9 +2,13 @@
    reconfiguration simulator.
 
    Subcommands:
-     experiments   regenerate the paper-claim tables (E1..E11)
+     experiments   regenerate the paper-claim tables (E1..E18)
      scenario      run a named scenario and print what happened
-     trace         run a transient-fault recovery and dump the event trace *)
+     faults        replay a declarative fault plan on either runtime
+     trace         run a transient-fault recovery and dump the event trace
+
+   Every run-flavoured subcommand is configured through one
+   Reconfig.Scenario.t built from the shared flags in Cli_common. *)
 
 open Cmdliner
 open Sim
@@ -14,16 +18,6 @@ open Reconfig
 (* experiments                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let jobs_arg =
-  Arg.(
-    value
-    & opt int (Harness.Pool.default_jobs ())
-    & info [ "jobs"; "j" ] ~docv:"N"
-        ~doc:
-          "Run simulation cells on $(docv) domains. Table output is \
-           byte-identical for any job count (default: the number of \
-           available cores).")
-
 let experiments_cmd =
   let full =
     Arg.(value & flag & info [ "full" ] ~doc:"Run with the full parameter grid.")
@@ -32,7 +26,7 @@ let experiments_cmd =
     Arg.(
       value & pos_all string []
       & info [] ~docv:"ID"
-          ~doc:"Experiment identifiers (E1..E11). All when omitted.")
+          ~doc:"Experiment identifiers (E1..E18). All when omitted.")
   in
   let run full jobs ids =
     let params =
@@ -56,8 +50,8 @@ let experiments_cmd =
     List.iter (fun t -> Format.printf "%a@." Harness.Table.pp t) tables
   in
   Cmd.v
-    (Cmd.info "experiments" ~doc:"Regenerate the paper-claim tables (E1..E11).")
-    Term.(const run $ full $ jobs_arg $ ids)
+    (Cmd.info "experiments" ~doc:"Regenerate the paper-claim tables (E1..E18).")
+    Term.(const run $ full $ Cli_common.jobs_arg $ ids)
 
 let ablations_cmd =
   let full =
@@ -74,64 +68,24 @@ let ablations_cmd =
   in
   Cmd.v
     (Cmd.info "ablations" ~doc:"Run the design-choice ablation sweeps (A1..A4).")
-    Term.(const run $ full $ jobs_arg)
+    Term.(const run $ full $ Cli_common.jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* scenario                                                             *)
 (* ------------------------------------------------------------------ *)
-
-let n_arg =
-  Arg.(value & opt int 5 & info [ "n" ] ~docv:"N" ~doc:"Number of initial members.")
-
-let seed_arg =
-  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
-
-let loss_arg =
-  Arg.(value & opt float 0.02 & info [ "loss" ] ~docv:"P" ~doc:"Packet loss probability.")
 
 let pp_config fmt sys =
   match Stack.uniform_config sys with
   | Some c -> Pid.pp_set fmt c
   | None -> Format.fprintf fmt "(no agreement yet)"
 
-(* One trace entry as a JSON object (one line of JSONL output). *)
-let entry_json e =
-  Printf.sprintf "{\"time\":%s,\"node\":%s,\"tag\":\"%s\",\"detail\":\"%s\"}"
-    (Telemetry.Export.json_float e.Trace.time)
-    (match e.Trace.node with Some p -> string_of_int p | None -> "null")
-    (Telemetry.Export.json_escape e.Trace.tag)
-    (Telemetry.Export.json_escape e.Trace.detail)
+let export_sys sys (sc : Scenario.t) =
+  let eng = Stack.engine sys in
+  Cli_common.export ~tele:(Engine.telemetry eng) ~trace:(Engine.trace eng) sc
 
-(* Write the run's telemetry/trace to whichever output files were asked
-   for. All three renderings are deterministic for a fixed seed: the
-   registry never reads wall clocks and exports are sorted. *)
-let export_scenario sys ~metrics_out ~metrics_jsonl ~trace_out =
-  let dump path render =
-    match path with
-    | None -> ()
-    | Some path ->
-      let buf = Buffer.create 4096 in
-      render buf;
-      let oc = open_out path in
-      Buffer.output_buffer oc buf;
-      close_out oc;
-      Format.printf "wrote %s@." path
-  in
-  let tele = Engine.telemetry (Stack.engine sys) in
-  dump metrics_out (fun buf -> Telemetry.Export.prometheus buf tele);
-  dump metrics_jsonl (fun buf -> Telemetry.Export.metrics_jsonl buf tele);
-  dump trace_out (fun buf ->
-      Trace.iter
-        (Engine.trace (Stack.engine sys))
-        (fun e ->
-          Buffer.add_string buf (entry_json e);
-          Buffer.add_char buf '\n'))
-
-let scenario_steady n seed loss =
-  let members = List.init n (fun i -> i + 1) in
-  let sys =
-    Stack.create ~seed ~loss ~n_bound:(2 * n) ~hooks:Stack.unit_hooks ~members ()
-  in
+let scenario_steady (sc : Scenario.t) =
+  let n = Scenario.nodes sc in
+  let sys = Stack.of_scenario ~hooks:Stack.unit_hooks sc in
   Format.printf "starting %d members...@." n;
   Stack.run_rounds sys 30;
   Format.printf "config after 30 rounds: %a, quiescent=%b@." pp_config sys
@@ -152,15 +106,12 @@ let scenario_steady n seed loss =
     (Stack.total_installs sys) (Stack.total_resets sys);
   sys
 
-let scenario_transient n seed loss =
-  let members = List.init n (fun i -> i + 1) in
-  let sys =
-    Stack.create ~seed ~loss ~n_bound:(2 * n) ~hooks:Stack.unit_hooks ~members ()
-  in
+let scenario_transient (sc : Scenario.t) =
+  let sys = Stack.of_scenario ~hooks:Stack.unit_hooks sc in
   Stack.run_rounds sys 30;
   Format.printf "steady config: %a@." pp_config sys;
   Format.printf "injecting transient fault: all node states and channels corrupted@.";
-  Stack.corrupt_everything sys ~rng:(Rng.create (seed + 1));
+  Stack.corrupt_everything sys ~rng:(Rng.create (sc.Scenario.sc_seed + 1));
   (match Stack.run_until_quiescent sys ~max_rounds:1000 with
   | Some rounds -> Format.printf "recovered in %d rounds@." rounds
   | None -> Format.printf "did not recover within budget@.");
@@ -168,10 +119,10 @@ let scenario_transient n seed loss =
     (Stack.total_resets sys);
   sys
 
-let scenario_churn n seed loss =
-  let members = List.init n (fun i -> i + 1) in
+let scenario_churn (sc : Scenario.t) =
+  let n = Scenario.nodes sc in
   let hooks = { Stack.unit_hooks with eval_conf = Stack.default_eval_conf () } in
-  let sys = Stack.create ~seed ~loss ~n_bound:(4 * n) ~hooks ~members () in
+  let sys = Stack.of_scenario ~hooks (Scenario.with_n_bound sc (4 * n)) in
   Stack.run_rounds sys 30;
   Format.printf "steady config: %a@." pp_config sys;
   Format.printf "two joiners arrive...@.";
@@ -200,11 +151,9 @@ let scenario_churn n seed loss =
    larger N, then a short steady-state stretch, with throughput narrated.
    Everything exported (metrics, trace) is deterministic for a fixed seed;
    only the narrated wall-clock figures vary run to run. *)
-let scenario_scale n seed loss =
-  let members = List.init n (fun i -> i + 1) in
-  let sys =
-    Stack.create ~seed ~loss ~n_bound:(2 * n) ~hooks:Stack.unit_hooks ~members ()
-  in
+let scenario_scale (sc : Scenario.t) =
+  let n = Scenario.nodes sc and seed = sc.Scenario.sc_seed in
+  let sys = Stack.of_scenario ~hooks:Stack.unit_hooks sc in
   let eng = Stack.engine sys in
   Format.printf "starting %d members...@." n;
   Stack.run_rounds sys 25;
@@ -230,29 +179,6 @@ let scenario_scale n seed loss =
     (Stack.total_resets sys);
   sys
 
-let metrics_out_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "metrics-out" ] ~docv:"FILE"
-        ~doc:
-          "Write the run's telemetry registry to $(docv) in Prometheus text \
-           exposition format.")
-
-let metrics_jsonl_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "metrics-jsonl" ] ~docv:"FILE"
-        ~doc:"Write the run's telemetry registry to $(docv) as JSON Lines.")
-
-let trace_out_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "trace-out" ] ~docv:"FILE"
-        ~doc:"Write the run's event trace to $(docv) as JSON Lines.")
-
 let scenario_cmd =
   let kind =
     Arg.(
@@ -268,21 +194,105 @@ let scenario_cmd =
           `Steady
       & info [] ~docv:"SCENARIO" ~doc:"One of: steady, transient, churn, scale.")
   in
-  let run kind n seed loss metrics_out metrics_jsonl trace_out =
+  let run kind sc =
     let sys =
       match kind with
-      | `Steady -> scenario_steady n seed loss
-      | `Transient -> scenario_transient n seed loss
-      | `Churn -> scenario_churn n seed loss
-      | `Scale -> scenario_scale n seed loss
+      | `Steady -> scenario_steady sc
+      | `Transient -> scenario_transient sc
+      | `Churn -> scenario_churn sc
+      | `Scale -> scenario_scale sc
     in
-    export_scenario sys ~metrics_out ~metrics_jsonl ~trace_out
+    export_sys sys sc
   in
   Cmd.v
     (Cmd.info "scenario" ~doc:"Run a named scenario and narrate the outcome.")
+    Term.(const run $ kind $ Cli_common.scenario_term ~name:"scenario" ())
+
+(* ------------------------------------------------------------------ *)
+(* faults                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A small built-in plan used when no --plan/--plan-json is given: a
+   corruption burst, a lossy stretch on every link out of node 1, a
+   partition with a timed heal, and two joiners. *)
+let demo_plan n seed =
+  let module Fp = Faults.Fault_plan in
+  Fp.make ~seed
+    [
+      Fp.at 30 (Fp.Corrupt_nodes (Fp.Sample (max 1 (n / 2))));
+      Fp.at 32 (Fp.Corrupt_channels Fp.All);
+      Fp.at 36
+        (Fp.Degrade_links
+           { src = Fp.Pids [ 1 ]; dst = Fp.All; profile = Fp.lossy 0.5 });
+      Fp.at 44 (Fp.Restore_links { src = Fp.Pids [ 1 ]; dst = Fp.All });
+      Fp.at 48 (Fp.Partition { group = Fp.Sample ((n / 2) + 1); heal_after = 10 });
+      Fp.at 62 (Fp.Join [ n + 1; n + 2 ]);
+    ]
+
+let fault_counters tele =
+  List.fold_left
+    (fun (applied, skipped) (name, labels, v) ->
+      if name <> "fault.injected" then (applied, skipped)
+      else if List.mem_assoc "kind" labels && List.assoc "kind" labels = "skipped"
+      then (applied, skipped + v)
+      else (applied + v, skipped))
+    (0, 0) (Telemetry.counters tele)
+
+let report_plan_outcome ~tele ~recovery =
+  let applied, skipped = fault_counters tele in
+  Format.printf "fault events applied: %d, skipped: %d@." applied skipped;
+  match recovery with
+  | Some rounds -> Format.printf "quiescent %d rounds after the last fault@." rounds
+  | None -> Format.printf "did not stabilize within budget@."
+
+let faults_cmd =
+  let runtime =
+    Arg.(
+      value
+      & opt (enum [ ("sim", `Sim); ("loop", `Loop) ]) `Sim
+      & info [ "runtime" ] ~docv:"RT"
+          ~doc:
+            "Which runtime interprets the plan: the discrete-event simulator \
+             ($(b,sim)) or the real-time event loop ($(b,loop)). The loop has \
+             no channel state to corrupt; such events are counted as skipped.")
+  in
+  let run sc plan runtime =
+    let plan =
+      match plan with
+      | Some p -> p
+      | None -> demo_plan (Scenario.nodes sc) sc.Scenario.sc_seed
+    in
+    let sc = Scenario.with_plan sc (Some plan) in
+    Format.printf "%a@." Faults.Fault_plan.pp plan;
+    match runtime with
+    | `Sim ->
+      let sys = Stack.of_scenario ~hooks:Stack.unit_hooks sc in
+      let recovery = Stack.run_plan sys ~plan ~max_rounds:2000 in
+      let tele = Engine.telemetry (Stack.engine sys) in
+      report_plan_outcome ~tele ~recovery;
+      Format.printf "final config: %a (resets: %d)@." pp_config sys
+        (Stack.total_resets sys);
+      export_sys sys sc
+    | `Loop ->
+      let sys = Stack_loop.of_scenario ~hooks:Stack.unit_hooks sc in
+      let recovery = Stack_loop.run_plan sys ~plan ~max_rounds:2000 in
+      let loop = Stack_loop.loop sys in
+      let tele = Runtime.Loop.telemetry loop in
+      report_plan_outcome ~tele ~recovery;
+      (match Stack_loop.uniform_config sys with
+      | Some c -> Format.printf "final config: %a@." Pid.pp_set c
+      | None -> Format.printf "final config: (no agreement yet)@.");
+      Cli_common.export ~tele ~trace:(Runtime.Loop.trace loop) sc
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Replay a declarative fault plan (JSON) on either runtime and \
+          report stabilization.")
     Term.(
-      const run $ kind $ n_arg $ seed_arg $ loss_arg $ metrics_out_arg
-      $ metrics_jsonl_arg $ trace_out_arg)
+      const run
+      $ Cli_common.scenario_term ~name:"faults" ()
+      $ Cli_common.plan_term $ runtime)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                                *)
@@ -297,16 +307,13 @@ let trace_cmd =
             "Dump every trace entry as JSON Lines (one object per line) \
              instead of the filtered human-readable text.")
   in
-  let run n seed loss json =
-    let members = List.init n (fun i -> i + 1) in
-    let sys =
-      Stack.create ~seed ~loss ~n_bound:(2 * n) ~hooks:Stack.unit_hooks ~members ()
-    in
+  let run sc json =
+    let sys = Stack.of_scenario ~hooks:Stack.unit_hooks sc in
     Stack.run_rounds sys 30;
-    Stack.corrupt_everything sys ~rng:(Rng.create (seed + 1));
+    Stack.corrupt_everything sys ~rng:(Rng.create (sc.Scenario.sc_seed + 1));
     ignore (Stack.run_until_quiescent sys ~max_rounds:1000);
     let trace = Engine.trace (Stack.engine sys) in
-    if json then Trace.iter trace (fun e -> print_endline (entry_json e))
+    if json then Trace.iter trace (fun e -> print_endline (Cli_common.entry_json e))
     else begin
       Trace.iter trace (fun e ->
           if e.Trace.tag <> "join" then Format.printf "%a@." Trace.pp_entry e);
@@ -316,11 +323,14 @@ let trace_cmd =
   in
   Cmd.v
     (Cmd.info "trace" ~doc:"Dump the protocol event trace of a transient-fault recovery.")
-    Term.(const run $ n_arg $ seed_arg $ loss_arg $ json_arg)
+    Term.(const run $ Cli_common.scenario_term ~name:"trace" () $ json_arg)
 
 let () =
   let info =
     Cmd.info "reconfig-sim" ~version:"1.0.0"
       ~doc:"Self-stabilizing reconfiguration (MIDDLEWARE 2016) simulator."
   in
-  exit (Cmd.eval (Cmd.group info [ experiments_cmd; ablations_cmd; scenario_cmd; trace_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ experiments_cmd; ablations_cmd; scenario_cmd; faults_cmd; trace_cmd ]))

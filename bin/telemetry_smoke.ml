@@ -25,8 +25,8 @@ let run_scenario () =
   let n = 5 and seed = 7 in
   let members = List.init n (fun i -> i + 1) in
   let sys =
-    Stack.create ~seed ~loss:0.02 ~n_bound:(2 * n) ~hooks:Stack.unit_hooks
-      ~members ()
+    Stack.of_scenario ~hooks:Stack.unit_hooks
+      (Scenario.make ~seed ~loss:0.02 ~n_bound:(2 * n) ~members ())
   in
   Stack.run_rounds sys 30;
   Stack.corrupt_everything sys ~rng:(Rng.create (seed + 1));

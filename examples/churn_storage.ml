@@ -33,9 +33,9 @@ let () =
   in
   let members = [ 1; 2; 3; 4; 5 ] in
   let sys =
-    Reconfig.Stack.create ~seed:21 ~n_bound:32
+    Reconfig.Stack.of_scenario
       ~hooks:(Shared_memory.hooks ~eval_config ())
-      ~members ()
+      (Reconfig.Scenario.make ~seed:21 ~n_bound:32 ~members ())
   in
   Reconfig.Stack.run_rounds sys 20;
   ignore (wait_view sys);

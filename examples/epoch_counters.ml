@@ -27,9 +27,9 @@ let () =
   let exhaust_bound = 4 in
   let members = [ 1; 2; 3 ] in
   let sys =
-    Reconfig.Stack.create ~seed:31 ~n_bound:8
+    Reconfig.Stack.of_scenario
       ~hooks:(Counter_service.hooks ~in_transit_bound:4 ~exhaust_bound)
-      ~members ()
+      (Reconfig.Scenario.make ~seed:31 ~n_bound:8 ~members ())
   in
   Reconfig.Stack.run_rounds sys 20;
   Format.printf "counter bound per epoch label: %d@." exhaust_bound;

@@ -13,7 +13,10 @@ let pp_conf fmt = function
 
 let () =
   let members = [ 1; 2; 3; 4; 5 ] in
-  let sys = Stack_loop.create ~seed:7 ~n_bound:16 ~hooks:Stack.unit_hooks ~members () in
+  let sys =
+    Stack_loop.of_scenario ~hooks:Stack.unit_hooks
+      (Scenario.make ~seed:7 ~n_bound:16 ~members ())
+  in
 
   (* Bootstrap: let the failure detectors warm up and the scheme settle. *)
   (match Stack_loop.run_until_quiescent sys ~max_rounds:500 with

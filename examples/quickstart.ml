@@ -11,7 +11,10 @@ let () =
   (* Five initial members; the scheme's "application" is trivial: never ask
      for reconfiguration, always admit joiners. *)
   let members = [ 1; 2; 3; 4; 5 ] in
-  let sys = Stack.create ~seed:7 ~n_bound:16 ~hooks:Stack.unit_hooks ~members () in
+  let sys =
+    Stack.of_scenario ~hooks:Stack.unit_hooks
+      (Scenario.make ~seed:7 ~n_bound:16 ~members ())
+  in
 
   (* Let the failure detectors warm up and the scheme go quiescent. *)
   Stack.run_rounds sys 30;

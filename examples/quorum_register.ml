@@ -17,8 +17,8 @@ let wait sys pred =
 let () =
   let members = [ 1; 2; 3; 4; 5 ] in
   let sys =
-    Reconfig.Stack.create ~seed:17 ~n_bound:16 ~hooks:(Register_service.hooks ())
-      ~members ()
+    Reconfig.Stack.of_scenario ~hooks:(Register_service.hooks ())
+      (Reconfig.Scenario.make ~seed:17 ~n_bound:16 ~members ())
   in
   Reconfig.Stack.run_rounds sys 20;
 

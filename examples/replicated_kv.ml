@@ -47,9 +47,9 @@ let () =
   let eval_config ~self:_ ~trusted:_ _ = !want_joiner in
   let members = [ 1; 2; 3; 4 ] in
   let sys =
-    Reconfig.Stack.create ~seed:11 ~n_bound:16
+    Reconfig.Stack.of_scenario
       ~hooks:(Vs_service.hooks ~machine ~eval_config ())
-      ~members ()
+      (Reconfig.Scenario.make ~seed:11 ~n_bound:16 ~members ())
   in
   Reconfig.Stack.run_rounds sys 20;
   ignore (wait_view sys);

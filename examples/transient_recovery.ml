@@ -24,8 +24,8 @@ let run_baseline () =
 let run_ssreconf () =
   Format.printf "--- self-stabilizing reconfiguration (this paper)@.";
   let sys =
-    Reconfig.Stack.create ~seed:5 ~n_bound:16 ~hooks:Reconfig.Stack.unit_hooks
-      ~members:[ 1; 2; 3; 4; 5 ] ()
+    Reconfig.Stack.of_scenario ~hooks:Reconfig.Stack.unit_hooks
+      (Reconfig.Scenario.make ~seed:5 ~n_bound:16 ~members:[ 1; 2; 3; 4; 5 ] ())
   in
   Reconfig.Stack.run_rounds sys 30;
   Format.printf "healthy before fault: %b@." (Reconfig.Stack.quiescent sys);

@@ -327,12 +327,52 @@ let recv ~in_transit_bound ~exhaust_bound (view : Stack.scheme_view) ~from m st 
       (st, [])
     | Idle | Reading _ | Writing _ -> (st, []))
 
+(* Arbitrary-state injection: garbage counter-pair storage plus a scrambled
+   in-flight operation. Unmatched telemetry spans this leaves behind are
+   counted, not fatal. *)
+let corrupt rng st =
+  (match st.algo with
+  | Some algo ->
+    let members = Pid.Set.elements (Counter_algo.members algo) in
+    let garbage j =
+      let lbl =
+        Labels.Label.make ~creator:j ~sting:(Rng.int rng 1024)
+          ~antistings:[ Rng.int rng 1024 ]
+      in
+      Counter.pair_of (Counter.make ~lbl ~seqn:(Rng.int rng 8) ~wid:j)
+    in
+    Counter_algo.corrupt algo
+      ~max_entries:(List.map (fun j -> (j, garbage j)) members);
+    let conf =
+      match Rng.subset rng members with
+      | [] -> Pid.set_of_list members
+      | l -> Pid.set_of_list l
+    in
+    (match Rng.int rng 3 with
+    | 0 -> st.phase <- Idle
+    | 1 ->
+      st.phase <-
+        Reading { rid = Rng.int rng 1024; conf; read_only = Rng.bool rng }
+    | _ ->
+      let cnt =
+        match garbage (List.hd members) with { Counter.mct; _ } -> mct
+      in
+      st.phase <- Writing { rid = Rng.int rng 1024; conf; cnt });
+    st.responses <- Pid.Map.empty;
+    st.acks <- Pid.set_of_list (Rng.subset rng members)
+  | None -> st.phase <- Idle);
+  st.want_increment <- Rng.bool rng;
+  st.want_read <- Rng.bool rng;
+  st.next_rid <- Rng.int rng 1024;
+  st
+
 let plugin ~in_transit_bound ~exhaust_bound =
   {
     Stack.p_init = fresh_state;
     p_tick = (fun view st -> tick ~in_transit_bound ~exhaust_bound view st);
     p_recv = (fun view ~from m st -> recv ~in_transit_bound ~exhaust_bound view ~from m st);
     p_merge = (fun ~self:_ st _ -> st);
+    p_corrupt = corrupt;
   }
 
 let hooks ~in_transit_bound ~exhaust_bound =
@@ -341,3 +381,21 @@ let hooks ~in_transit_bound ~exhaust_bound =
     pass_query = (fun ~self:_ ~joiner:_ -> true);
     plugin = plugin ~in_transit_bound ~exhaust_bound;
   }
+
+let declare_metrics tele =
+  Telemetry.declare_counter tele "counter.aborts";
+  List.iter
+    (fun op ->
+      Telemetry.declare_histogram tele ~labels:[ ("op", op) ] "counter.op_seconds")
+    [ "increment"; "read" ]
+
+module Service = struct
+  type nonrec state = state
+  type nonrec msg = msg
+
+  let name = "counter"
+  let plugin = plugin ~in_transit_bound:8 ~exhaust_bound:(1 lsl 30)
+  let hooks = hooks ~in_transit_bound:8 ~exhaust_bound:(1 lsl 30)
+  let corrupt = corrupt
+  let declare_metrics = declare_metrics
+end

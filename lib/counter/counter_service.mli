@@ -63,3 +63,17 @@ val local_max : state -> Counter.t option
 
 (** Labels created at this node by the counter machinery. *)
 val label_creations : state -> int
+
+(** {2 Fault injection and packaging} *)
+
+(** Arbitrary-state injection (the plugin's [p_corrupt]): garbage
+    counter-pair storage plus a scrambled in-flight operation. *)
+val corrupt : Rng.t -> state -> state
+
+(** Pre-register the service's telemetry families. *)
+val declare_metrics : Telemetry.t -> unit
+
+(** Default-configured instance ([in_transit_bound = 8],
+    [exhaust_bound = 2{^30}]). *)
+module Service :
+  Reconfig.Stack.SERVICE with type state = state and type msg = msg

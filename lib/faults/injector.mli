@@ -1,0 +1,62 @@
+(** Fault-plan interpretation against any runtime.
+
+    The injector never touches a runtime directly: it acts through an
+    {!ops} capability record the runtime's harness supplies ([Stack] for
+    the simulator, [Stack_loop] for the real-time loop). A capability a
+    runtime cannot honor (e.g. channel corruption on a mailbox runtime)
+    is supplied as a no-op and the event is counted as skipped — the plan
+    still replays, the adversary is just weaker there (see DESIGN.md
+    §11 for what the adversary deliberately cannot do).
+
+    All interpretation randomness flows from the plan's own seed
+    ({!Fault_plan.t}), so a plan resolves to the same victims and the
+    same garbage on every runtime and every replay. *)
+
+open Sim
+
+type ops = {
+  o_live : unit -> Pid.t list;  (** live pids, ascending *)
+  o_pids : unit -> Pid.t list;  (** all pids ever seen, ascending *)
+  o_rounds : unit -> int;  (** the runtime's round counter *)
+  o_crash : Pid.t -> unit;
+  o_join : Pid.t -> unit;  (** introduce a joiner *)
+  o_corrupt_node : Rng.t -> Pid.t -> unit;
+      (** rewrite one node's protocol + application state with garbage
+          drawn from the given (plan-seeded) RNG *)
+  o_corrupt_link : (Rng.t -> src:Pid.t -> dst:Pid.t -> unit) option;
+      (** fill one directed channel with stale packets; [None] when the
+          runtime has no channel state *)
+  o_set_link_profile :
+    (src:Pid.t -> dst:Pid.t -> Fault_plan.link_profile option -> unit) option;
+      (** install/remove a per-link fault profile; [None] when
+          unsupported *)
+  o_partition : Pid.Set.t -> unit;
+  o_heal : unit -> unit;  (** remove every block and link profile *)
+  o_telemetry : Telemetry.t;
+  o_emit : tag:string -> detail:string -> unit;  (** trace stamping *)
+}
+
+type t
+
+val create : plan:Fault_plan.t -> ops:ops -> t
+(** The injector starts with every plan entry pending and an RNG seeded
+    from [plan.seed]. {!declare_metrics} is applied to [ops.o_telemetry]
+    so the [fault.injected] schema is stable even for plans that never
+    fire. *)
+
+val step : t -> unit
+(** Apply every pending entry (and scheduled partition heal) whose round
+    has been reached, in plan order. Call once per round boundary. *)
+
+val finished : t -> bool
+(** No pending entries and no scheduled heals remain. *)
+
+val injected : t -> int
+(** Number of events applied so far (scheduled heals included). *)
+
+val skipped : t -> int
+(** Events dropped because the runtime lacked the capability. *)
+
+val declare_metrics : Telemetry.t -> unit
+(** Pre-register [fault.injected{kind}] for every {!Fault_plan.kinds}
+    entry plus the [skipped] pseudo-kind. *)

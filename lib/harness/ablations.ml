@@ -44,8 +44,8 @@ let a1_theta_sweep ?(jobs = 1) p =
   let n = n_of p in
   let run theta seed =
     let sys =
-      Stack.create ~seed ~theta ~n_bound:(2 * n) ~hooks:Stack.unit_hooks
-        ~members:(members_of n) ()
+      Stack.of_scenario ~hooks:Stack.unit_hooks
+        (Scenario.make ~seed ~theta ~n_bound:(2 * n) ~members:(members_of n) ())
     in
     Stack.run_rounds sys 60;
     let spurious = Stack.total_resets sys in
@@ -95,8 +95,8 @@ let a2_loss_sweep ?(jobs = 1) p =
   let target = Pid.set_of_list (members_of (n - 1)) in
   let run loss seed =
     let sys =
-      Stack.create ~seed ~loss ~n_bound:(2 * n) ~hooks:Stack.unit_hooks
-        ~members:(members_of n) ()
+      Stack.of_scenario ~hooks:Stack.unit_hooks
+        (Scenario.make ~seed ~loss ~n_bound:(2 * n) ~members:(members_of n) ())
     in
     Stack.run_rounds sys 30;
     let rec propose k =
@@ -152,8 +152,8 @@ let a3_capacity_sweep ?(jobs = 1) p =
   let n = n_of p in
   let run capacity seed =
     let sys =
-      Stack.create ~seed ~capacity ~n_bound:(2 * n) ~hooks:Stack.unit_hooks
-        ~members:(members_of n) ()
+      Stack.of_scenario ~hooks:Stack.unit_hooks
+        (Scenario.make ~seed ~capacity ~n_bound:(2 * n) ~members:(members_of n) ())
     in
     Stack.run_rounds sys 25;
     Stack.corrupt_everything sys ~rng:(Rng.create (seed * 31));
@@ -190,8 +190,8 @@ let a4_brute_vs_delicate ?(jobs = 1) p =
     match technique with
     | `Delicate ->
       let sys =
-        Stack.create ~seed ~n_bound:(2 * n) ~hooks:Stack.unit_hooks
-          ~members:(members_of n) ()
+        Stack.of_scenario ~hooks:Stack.unit_hooks
+          (Scenario.make ~seed ~n_bound:(2 * n) ~members:(members_of n) ())
       in
       Stack.run_rounds sys 30;
       let target = Pid.set_of_list (members_of (n - 1)) in
@@ -212,8 +212,8 @@ let a4_brute_vs_delicate ?(jobs = 1) p =
       end
     | `Brute ->
       let sys =
-        Stack.create ~seed ~n_bound:(2 * n) ~hooks:Stack.unit_hooks
-          ~members:(members_of n) ()
+        Stack.of_scenario ~hooks:Stack.unit_hooks
+          (Scenario.make ~seed ~n_bound:(2 * n) ~members:(members_of n) ())
       in
       Stack.run_rounds sys 30;
       (* force a reset by planting a conflicting configuration *)

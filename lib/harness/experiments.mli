@@ -46,6 +46,18 @@ val e17_scale : ?jobs:int -> params -> Table.t
 (** The sizes the scale tier measures (16, 32, 64). *)
 val scale_sizes : int list
 
+(** Fault-plan sweep (E18): stabilization time vs. fault intensity
+    (corruption-storm rate x partition duration x churn) at N ∈ {8, 16, 32},
+    with p50/p95 reset-recovery latencies from the telemetry histogram.
+    Every cell replays one declarative {!Faults.Fault_plan} through
+    [Stack.run_plan]. *)
+val e18_faults : ?jobs:int -> params -> Table.t
+
+(** The sizes (8, 16, 32) and composite intensity levels E18 sweeps. *)
+val fault_sizes : int list
+
+val fault_levels : (string * float * int * bool) list
+
 (** All experiments in order. *)
 val all : ?jobs:int -> params -> Table.t list
 

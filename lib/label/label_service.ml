@@ -67,6 +67,25 @@ let recv ~in_transit_bound (view : Stack.scheme_view) ~from m st =
         ~last_sent:(clean m.lm_last_sent) ~from;
       (st, []))
 
+(* Arbitrary-state injection: conflicting same-creator labels in both the
+   max array and the stored queues (the situation Algorithm 4.2's
+   cancellation machinery resolves). *)
+let corrupt rng st =
+  (match st.algo with
+  | Some algo ->
+    let members = Pid.Set.elements (Label_algo.members algo) in
+    let garbage j =
+      Label.pair_of
+        (Label.make ~creator:j ~sting:(Rng.int rng 1024)
+           ~antistings:[ Rng.int rng 1024 ])
+    in
+    Label_algo.corrupt algo
+      ~max_entries:(List.map (fun j -> (j, garbage j)) members)
+      ~stored_entries:
+        (List.map (fun j -> (j, [ garbage j ])) (Rng.subset rng members))
+  | None -> ());
+  st
+
 let plugin ~in_transit_bound =
   {
     Stack.p_init = (fun _ -> { algo = None });
@@ -74,6 +93,7 @@ let plugin ~in_transit_bound =
     p_recv = (fun view ~from m st -> recv ~in_transit_bound view ~from m st);
     (* label state is member-local; joiners start fresh *)
     p_merge = (fun ~self:_ st _ -> st);
+    p_corrupt = corrupt;
   }
 
 let hooks ~in_transit_bound =
@@ -82,6 +102,9 @@ let hooks ~in_transit_bound =
     pass_query = (fun ~self:_ ~joiner:_ -> true);
     plugin = plugin ~in_transit_bound;
   }
+
+(* The labeling scheme reports through traces only; nothing to pre-register. *)
+let declare_metrics (_ : Telemetry.t) = ()
 
 let local_max st =
   Option.bind st.algo (fun algo ->
@@ -118,3 +141,14 @@ let agreed_max sys =
 
 let total_creations sys =
   List.fold_left (fun acc (_, n) -> acc + creations n.Stack.app) 0 (Stack.live_nodes sys)
+
+module Service = struct
+  type nonrec state = state
+  type nonrec msg = msg
+
+  let name = "label"
+  let plugin = plugin ~in_transit_bound:8
+  let hooks = hooks ~in_transit_bound:8
+  let corrupt = corrupt
+  let declare_metrics = declare_metrics
+end

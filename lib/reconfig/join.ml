@@ -82,6 +82,12 @@ let on_reply t ~from ~participant ~pass ~app =
     t.states <- Pid.Map.add from app t.states
   end
 
+let corrupt t ~rng ~pool =
+  t.passes <-
+    List.fold_left (fun m q -> Pid.Map.add q (Rng.bool rng) m) Pid.Map.empty pool;
+  t.states <- Pid.Map.empty;
+  t.fresh <- Rng.bool rng
+
 let join_count t = t.joins
 
 let pp fmt t =

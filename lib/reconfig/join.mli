@@ -54,6 +54,13 @@ val on_request :
     (joiners only). *)
 val on_reply : 'app t -> from:Pid.t -> participant:bool -> pass:bool -> app:'app -> unit
 
+(** [corrupt t ~rng ~pool] — transient fault: scramble the joiner-side
+    bookkeeping (random pass flags over [pool], collected member states
+    dropped, the resetVars latch randomized). Convergence must wash it
+    out: a stale pass quorum is re-validated against [no_reco] before
+    [participate]. *)
+val corrupt : 'app t -> rng:Rng.t -> pool:Pid.t list -> unit
+
 (** Number of successful [participate] transitions. *)
 val join_count : 'app t -> int
 

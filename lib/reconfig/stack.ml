@@ -55,6 +55,7 @@ module Plugin = struct
     p_tick : scheme_view -> 'app -> 'app * (Pid.t * 'msg) list;
     p_recv : scheme_view -> from:Pid.t -> 'msg -> 'app -> 'app * (Pid.t * 'msg) list;
     p_merge : self:Pid.t -> 'app -> 'app Pid.Map.t -> 'app;
+    p_corrupt : Rng.t -> 'app -> 'app;
   }
 
   let null =
@@ -63,6 +64,7 @@ module Plugin = struct
       p_tick = (fun _ app -> (app, []));
       p_recv = (fun _ ~from:_ _ app -> (app, []));
       p_merge = (fun ~self:_ app _ -> app);
+      p_corrupt = (fun _ app -> app);
     }
 
   let map ~state ~state_back ~msg ~msg_back p =
@@ -83,6 +85,7 @@ module Plugin = struct
       p_merge =
         (fun ~self app others ->
           state (p.p_merge ~self (state_back app) (Pid.Map.map state_back others)));
+      p_corrupt = (fun rng app -> state (p.p_corrupt rng (state_back app)));
     }
 
   let pair pa pb =
@@ -108,6 +111,10 @@ module Plugin = struct
         (fun ~self (a, b) others ->
           ( pa.p_merge ~self a (Pid.Map.map fst others),
             pb.p_merge ~self b (Pid.Map.map snd others) ));
+      p_corrupt =
+        (fun rng (a, b) ->
+          let a = pa.p_corrupt rng a in
+          (a, pb.p_corrupt rng b));
     }
 
   let stack ~lower ~get ~set ~wrap ~unwrap upper =
@@ -131,6 +138,10 @@ module Plugin = struct
         (fun ~self st others ->
           let a = lower.p_merge ~self (get st) (Pid.Map.map get others) in
           upper.p_merge ~self (set st a) others);
+      p_corrupt =
+        (fun rng st ->
+          let st = set st (lower.p_corrupt rng (get st)) in
+          upper.p_corrupt rng st);
     }
 end
 
@@ -139,6 +150,7 @@ type ('app, 'msg) plugin = ('app, 'msg) Plugin.t = {
   p_tick : scheme_view -> 'app -> 'app * (Pid.t * 'msg) list;
   p_recv : scheme_view -> from:Pid.t -> 'msg -> 'app -> 'app * (Pid.t * 'msg) list;
   p_merge : self:Pid.t -> 'app -> 'app Pid.Map.t -> 'app;
+  p_corrupt : Rng.t -> 'app -> 'app;
 }
 
 type ('app, 'msg) hooks = {
@@ -155,6 +167,19 @@ let unit_hooks =
     pass_query = (fun ~self:_ ~joiner:_ -> true);
     plugin = null_plugin;
   }
+
+(* The uniform shape every Section-4 service module exposes; see the
+   matching module type in stack.mli. *)
+module type SERVICE = sig
+  type state
+  type msg
+
+  val name : string
+  val plugin : (state, msg) Plugin.t
+  val hooks : (state, msg) hooks
+  val corrupt : Rng.t -> state -> state
+  val declare_metrics : Telemetry.t -> unit
+end
 
 let default_eval_conf ?(fraction = 0.25) () ~self:_ ~trusted members =
   let total = Pid.Set.cardinal members in
@@ -465,19 +490,66 @@ type ('app, 'msg) t = {
   directory : Pid.Set.t ref;
 }
 
-let create ?(seed = 42) ?(capacity = 8) ?(loss = 0.02) ?(theta = 4)
-    ?(quorum = (module Quorum.Majority : Quorum.SYSTEM)) ~n_bound ~hooks ~members () =
+(* --- seeded garbage: the raw material of transient faults --- *)
+
+let random_pid_set rng pool =
+  match Rng.subset rng pool with [] -> Pid.set_of_list [ List.hd pool ] | l -> Pid.set_of_list l
+
+let random_config rng pool =
+  match Rng.int rng 4 with
+  | 0 -> Config_value.Reset
+  | 1 -> Config_value.Set (random_pid_set rng pool)
+  | 2 -> Config_value.Set Pid.Set.empty
+  | _ -> Config_value.Set (random_pid_set rng pool)
+
+let random_notification rng pool =
+  match Rng.int rng 4 with
+  | 0 -> Notification.default
+  | 1 -> { Notification.phase = Notification.P0; set = Some (random_pid_set rng pool) }
+  | 2 -> Notification.make Notification.P1 (random_pid_set rng pool)
+  | _ -> Notification.make Notification.P2 (random_pid_set rng pool)
+
+(* A stale recSA packet, as left behind by an arbitrary transient fault. *)
+let stale_sa rng pool =
+  let trusted = random_pid_set rng pool in
+  Sa
+    {
+      Recsa.m_fd = trusted;
+      m_part = random_pid_set rng pool;
+      m_config = random_config rng pool;
+      m_prp = random_notification rng pool;
+      m_all = Rng.bool rng;
+      m_echo = None;
+    }
+
+let of_scenario ~hooks (sc : Scenario.t) =
+  let members = sc.Scenario.sc_members in
   let members_set = Pid.set_of_list members in
   let directory = ref members_set in
   let driver =
-    Sim_core.driver ~capacity ~n_bound ~theta ~quorum ~hooks ~members_set ~directory
+    Sim_core.driver ~capacity:sc.sc_capacity ~n_bound:sc.sc_n_bound ~theta:sc.sc_theta
+      ~quorum:sc.sc_quorum ~hooks ~members_set ~directory
   in
   let eng =
-    Engine.create ~seed ~capacity ~loss ~behavior:(Runtime.sim_behavior driver)
-      ~pids:members ()
+    Engine.create ~seed:sc.sc_seed ~capacity:sc.sc_capacity ~loss:sc.sc_loss
+      ~behavior:(Runtime.sim_behavior driver) ~pids:members ()
   in
   declare_metrics (Engine.telemetry eng);
+  Faults.Injector.declare_metrics (Engine.telemetry eng);
+  (* "bit flips" on profiled links: a typed message has no bits to flip, so
+     a mangled packet re-parses as garbage — a heartbeat or a stale recSA
+     packet *)
+  Engine.set_mangler eng
+    (Some
+       (fun rng _msg ->
+         if Rng.bool rng then Heartbeat else stale_sa rng (Engine.pids eng)));
   { eng; hooks; directory }
+
+let create ?(seed = 42) ?(capacity = 8) ?(loss = 0.02) ?(theta = 4)
+    ?(quorum = (module Quorum.Majority : Quorum.SYSTEM)) ~n_bound ~hooks ~members () =
+  of_scenario ~hooks
+    (Scenario.make ~members ~seed ~capacity ~loss ~theta ~n_bound ~quorum
+       ~nodes:(List.length members) ())
 
 let engine t = t.eng
 
@@ -518,23 +590,6 @@ let estab t p set = Recsa.estab (node t p).sa ~trusted:(trusted_of t p) set
 
 (* --- transient-fault injection --- *)
 
-let random_pid_set rng pool =
-  match Rng.subset rng pool with [] -> Pid.set_of_list [ List.hd pool ] | l -> Pid.set_of_list l
-
-let random_config rng pool =
-  match Rng.int rng 4 with
-  | 0 -> Config_value.Reset
-  | 1 -> Config_value.Set (random_pid_set rng pool)
-  | 2 -> Config_value.Set Pid.Set.empty
-  | _ -> Config_value.Set (random_pid_set rng pool)
-
-let random_notification rng pool =
-  match Rng.int rng 4 with
-  | 0 -> Notification.default
-  | 1 -> { Notification.phase = Notification.P0; set = Some (random_pid_set rng pool) }
-  | 2 -> Notification.make Notification.P1 (random_pid_set rng pool)
-  | _ -> Notification.make Notification.P2 (random_pid_set rng pool)
-
 let corrupt_node t p ~rng =
   let pool = Engine.pids t.eng in
   let n = node t p in
@@ -543,32 +598,64 @@ let corrupt_node t p ~rng =
     ~allseen:(random_pid_set rng pool) ();
   Recsa.clear_peers n.sa;
   let random_flags () = List.map (fun q -> (q, Rng.bool rng)) pool in
-  Recma.corrupt n.ma ~no_maj:(random_flags ()) ~need_reconf:(random_flags ())
+  Recma.corrupt n.ma ~no_maj:(random_flags ()) ~need_reconf:(random_flags ());
+  Join.corrupt n.join ~rng ~pool;
+  n.app <- t.hooks.plugin.p_corrupt rng n.app
+
+let corrupt_link t ~src ~dst ~rng =
+  let pool = Engine.pids t.eng in
+  let k = Rng.int rng 4 in
+  let pkts = List.init k (fun _ -> stale_sa rng pool) in
+  Engine.corrupt_channel t.eng ~src ~dst pkts
 
 let corrupt_everything t ~rng =
   let live = Engine.live_pids t.eng in
   List.iter (fun p -> corrupt_node t p ~rng) live;
-  let pool = Engine.pids t.eng in
   List.iter
     (fun src ->
       List.iter
-        (fun dst ->
-          if not (Pid.equal src dst) then begin
-            let stale_message () =
-              let trusted = random_pid_set rng pool in
-              Sa
-                {
-                  Recsa.m_fd = trusted;
-                  m_part = random_pid_set rng pool;
-                  m_config = random_config rng pool;
-                  m_prp = random_notification rng pool;
-                  m_all = Rng.bool rng;
-                  m_echo = None;
-                }
-            in
-            let k = Rng.int rng 4 in
-            let pkts = List.init k (fun _ -> stale_message ()) in
-            Engine.corrupt_channel t.eng ~src ~dst pkts
-          end)
+        (fun dst -> if not (Pid.equal src dst) then corrupt_link t ~src ~dst ~rng)
         live)
     live
+
+(* --- fault plans: the injector capabilities of the simulator runtime --- *)
+
+let to_engine_profile p =
+  {
+    Engine.lp_drop = p.Faults.Fault_plan.fp_drop;
+    lp_dup = p.Faults.Fault_plan.fp_dup;
+    lp_flip = p.Faults.Fault_plan.fp_flip;
+  }
+
+let fault_ops t =
+  {
+    Faults.Injector.o_live = (fun () -> Engine.live_pids t.eng);
+    o_pids = (fun () -> Engine.pids t.eng);
+    o_rounds = (fun () -> Engine.rounds t.eng);
+    o_crash = (fun p -> Engine.crash t.eng p);
+    o_join = (fun p -> add_joiner t p);
+    o_corrupt_node = (fun rng p -> corrupt_node t p ~rng);
+    o_corrupt_link = Some (fun rng ~src ~dst -> corrupt_link t ~src ~dst ~rng);
+    o_set_link_profile =
+      Some
+        (fun ~src ~dst profile ->
+          Engine.set_link_profile t.eng ~src ~dst (Option.map to_engine_profile profile));
+    o_partition = (fun group -> Engine.partition t.eng group);
+    o_heal =
+      (fun () ->
+        Engine.heal t.eng;
+        Engine.clear_link_profiles t.eng);
+    o_telemetry = Engine.telemetry t.eng;
+    o_emit =
+      (fun ~tag ~detail ->
+        Trace.record (Engine.trace t.eng) ~time:(Engine.time t.eng) ~tag detail);
+  }
+
+let run_plan t ~plan ~max_rounds =
+  let inj = Faults.Injector.create ~plan ~ops:(fault_ops t) in
+  Faults.Injector.step inj;
+  while not (Faults.Injector.finished inj) do
+    run_rounds t 1;
+    Faults.Injector.step inj
+  done;
+  run_until_quiescent t ~max_rounds

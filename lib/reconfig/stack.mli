@@ -82,6 +82,11 @@ module Plugin : sig
     p_merge : self:Pid.t -> 'app -> 'app Pid.Map.t -> 'app;
         (** [initVars]: combine members' states into a fresh participant's
             state when joining completes *)
+    p_corrupt : Rng.t -> 'app -> 'app;
+        (** transient fault: rewrite the application state with seeded
+            garbage. Self-stabilization demands the plugin converge from
+            whatever this returns; [corrupt_node] and fault plans call it
+            alongside the scheme-layer corruptors. *)
   }
 
   (** A do-nothing plugin for running the bare reconfiguration scheme. *)
@@ -91,7 +96,9 @@ module Plugin : sig
       state isomorphism and a message embedding. [msg_back] is a partial
       inverse: messages it maps to [None] are dropped on receipt. With
       identity functions, [map] is the identity (the functor law tested in
-      the suite). *)
+      the suite). [p_corrupt] is transported through the isomorphism;
+      [pair] corrupts both components; [stack] corrupts the lower layer
+      through the lens, then the upper. *)
   val map :
     state:('a -> 'b) ->
     state_back:('b -> 'a) ->
@@ -129,6 +136,7 @@ type ('app, 'msg) plugin = ('app, 'msg) Plugin.t = {
   p_tick : scheme_view -> 'app -> 'app * (Pid.t * 'msg) list;
   p_recv : scheme_view -> from:Pid.t -> 'msg -> 'app -> 'app * (Pid.t * 'msg) list;
   p_merge : self:Pid.t -> 'app -> 'app Pid.Map.t -> 'app;
+  p_corrupt : Rng.t -> 'app -> 'app;
 }
 
 type ('app, 'msg) hooks = {
@@ -138,6 +146,31 @@ type ('app, 'msg) hooks = {
       (** may this joiner enter the computation? *)
   plugin : ('app, 'msg) plugin;
 }
+
+(** The uniform shape of a Section-4 service ([Counter_service],
+    [Label_service], [Register_service], [Vs_service]): default plugin and
+    hooks (init/step), a state corruptor for fault injection, and telemetry
+    schema declaration. Polymorphic services (virtual synchrony over an
+    arbitrary state machine) instantiate it at a canonical type. *)
+module type SERVICE = sig
+  type state
+  type msg
+
+  val name : string
+
+  val plugin : (state, msg) Plugin.t
+  (** Default-configured plugin; [plugin.p_corrupt] equals {!corrupt}. *)
+
+  val hooks : (state, msg) hooks
+  (** Default-configured hooks wrapping {!plugin}. *)
+
+  val corrupt : Rng.t -> state -> state
+  (** Transient fault: seeded garbage into the service state. *)
+
+  val declare_metrics : Telemetry.t -> unit
+  (** Pre-register the service's telemetry families (a subset of
+      {!declare_metrics}, for harnesses running the service alone). *)
+end
 
 (** Alias of {!Plugin.null}. *)
 val null_plugin : (unit, unit) plugin
@@ -203,6 +236,15 @@ val quiescent_of : (Pid.t * 'app node_state) list -> bool
 type ('app, 'msg) t
 (** A simulated system running the scheme on every node. *)
 
+val of_scenario : hooks:('app, 'msg) hooks -> Scenario.t -> ('app, 'msg) t
+(** The primary constructor. The initial participants [sc_members] start
+    with the agreed configuration [sc_members] (a steady config state);
+    other processors enter later via [add_joiner] or a plan's [Join]
+    events. [sc_quorum] generalizes recMA's collapse / prediction tests
+    and the joining admission test to any intersecting quorum system — the
+    generalization the paper claims in Related Work. The scenario's fault
+    plan is {e not} applied here; pass it to {!run_plan}. *)
+
 val create :
   ?seed:int ->
   ?capacity:int ->
@@ -214,12 +256,9 @@ val create :
   members:Pid.t list ->
   unit ->
   ('app, 'msg) t
-(** [create ~n_bound ~hooks ~members ()] — the initial participants
-    [members] start with the agreed configuration [members] (a steady
-    config state); other processors enter later via [add_joiner].
-    [quorum] (default {!Quorum.Majority}) generalizes recMA's collapse /
-    prediction tests and the joining admission test to any intersecting
-    quorum system — the generalization the paper claims in Related Work. *)
+  [@@ocaml.deprecated "use Stack.of_scenario with a Scenario.t"]
+(** @deprecated Compatibility shim over {!of_scenario} (one release);
+    equivalent to [of_scenario ~hooks (Scenario.make ~members ...)]. *)
 
 val engine : ('app, 'msg) t -> ('app node_state, ('app, 'msg) message) Engine.t
 
@@ -269,6 +308,14 @@ val estab : ('app, 'msg) t -> Pid.t -> Pid.Set.t -> bool
 
 (** {2 Transient faults} *)
 
+(** Garbage generators shared by both runtimes' injectors: a random
+    subset of [pool], a random configuration over it, and a random
+    reconfiguration notification. *)
+
+val random_pid_set : Rng.t -> Pid.t list -> Pid.Set.t
+val random_config : Rng.t -> Pid.t list -> Config_value.t
+val random_notification : Rng.t -> Pid.t list -> Notification.t
+
 (** [corrupt_node t p ~rng] writes pseudo-random garbage into [p]'s recSA
     and recMA state. *)
 val corrupt_node : ('app, 'msg) t -> Pid.t -> rng:Rng.t -> unit
@@ -276,3 +323,23 @@ val corrupt_node : ('app, 'msg) t -> Pid.t -> rng:Rng.t -> unit
 (** [corrupt_everything t ~rng] corrupts every live node and fills every
     channel between live nodes with stale protocol packets. *)
 val corrupt_everything : ('app, 'msg) t -> rng:Rng.t -> unit
+
+(** {2 Fault plans}
+
+    Declarative adversaries ({!Faults.Fault_plan}) act on the system
+    through the injector capability record. The simulator supplies every
+    capability: state corruption (scheme layers, join bookkeeping and the
+    plugin's [p_corrupt]), channel corruption, per-link fault profiles
+    (with "bit flips" mangled into stale protocol packets), partitions,
+    crashes and join churn. *)
+
+(** [fault_ops t] — the full capability record for {!Faults.Injector}. *)
+val fault_ops : ('app, 'msg) t -> Faults.Injector.ops
+
+(** [run_plan t ~plan ~max_rounds] drives the system round by round,
+    applying [plan]'s events at their scheduled rounds, then runs on until
+    quiescence. Returns the number of rounds between the last plan action
+    and quiescence ([None] if the [max_rounds] budget expires first) —
+    the measured stabilization time. *)
+val run_plan :
+  ('app, 'msg) t -> plan:Faults.Fault_plan.t -> max_rounds:int -> int option

@@ -5,21 +5,29 @@ module Loop_core = Stack.Core (Loop.Ctx)
 
 type ('app, 'msg) t = {
   loop : ('app Stack.node_state, ('app, 'msg) Stack.message) Loop.t;
+  hooks : ('app, 'msg) Stack.hooks;
   directory : Pid.Set.t ref;
 }
+
+let of_scenario ?clock ~hooks (sc : Scenario.t) =
+  let members = sc.Scenario.sc_members in
+  let members_set = Pid.set_of_list members in
+  let directory = ref members_set in
+  let driver =
+    Loop_core.driver ~capacity:sc.sc_capacity ~n_bound:sc.sc_n_bound
+      ~theta:sc.sc_theta ~quorum:sc.sc_quorum ~hooks ~members_set ~directory
+  in
+  let loop = Loop.create ~seed:sc.sc_seed ?clock ~driver ~pids:members () in
+  Stack.declare_metrics (Loop.telemetry loop);
+  Faults.Injector.declare_metrics (Loop.telemetry loop);
+  { loop; hooks; directory }
 
 let create ?(seed = 42) ?(capacity = 8) ?(theta = 4)
     ?(quorum = (module Quorum.Majority : Quorum.SYSTEM)) ?clock ~n_bound ~hooks
     ~members () =
-  let members_set = Pid.set_of_list members in
-  let directory = ref members_set in
-  let driver =
-    Loop_core.driver ~capacity ~n_bound ~theta ~quorum ~hooks ~members_set
-      ~directory
-  in
-  let loop = Loop.create ~seed ?clock ~driver ~pids:members () in
-  Stack.declare_metrics (Loop.telemetry loop);
-  { loop; directory }
+  of_scenario ?clock ~hooks
+    (Scenario.make ~members ~seed ~capacity ~theta ~n_bound ~quorum
+       ~nodes:(List.length members) ())
 
 let loop t = t.loop
 
@@ -45,3 +53,61 @@ let run_until_quiescent t ~max_rounds =
   else None
 
 let crash t p = Loop.crash t.loop p
+
+(* --- fault plans: the loop's (partial) injector capabilities --- *)
+
+let fault_ops t =
+  let hooks = t.hooks in
+  {
+    Faults.Injector.o_live = (fun () -> Loop.live_pids t.loop);
+    o_pids = (fun () -> Loop.pids t.loop);
+    o_rounds = (fun () -> Loop.rounds t.loop);
+    o_crash = (fun p -> Loop.crash t.loop p);
+    o_join = (fun p -> add_joiner t p);
+    o_corrupt_node =
+      (fun rng p ->
+        let pool = Loop.pids t.loop in
+        let n = node t p in
+        Recsa.corrupt n.Stack.sa ~config:(Stack.random_config rng pool)
+          ~prp:(Stack.random_notification rng pool) ~all:(Rng.bool rng)
+          ~allseen:(Stack.random_pid_set rng pool) ();
+        Recsa.clear_peers n.Stack.sa;
+        let random_flags () = List.map (fun q -> (q, Rng.bool rng)) pool in
+        Recma.corrupt n.Stack.ma ~no_maj:(random_flags ())
+          ~need_reconf:(random_flags ());
+        Join.corrupt n.Stack.join ~rng ~pool;
+        n.Stack.app <- hooks.Stack.plugin.Stack.p_corrupt rng n.Stack.app);
+    (* mailboxes hold typed values a transient fault cannot fabricate, and
+       per-link profiles are installed on the loop runtime itself *)
+    o_corrupt_link = None;
+    o_set_link_profile =
+      Some
+        (fun ~src ~dst profile ->
+          Loop.set_link_profile t.loop ~src ~dst
+            (Option.map
+               (fun p ->
+                 {
+                   Engine.lp_drop = p.Faults.Fault_plan.fp_drop;
+                   lp_dup = p.Faults.Fault_plan.fp_dup;
+                   lp_flip = p.Faults.Fault_plan.fp_flip;
+                 })
+               profile));
+    o_partition = (fun group -> Loop.partition t.loop group);
+    o_heal =
+      (fun () ->
+        Loop.heal t.loop;
+        Loop.clear_link_profiles t.loop);
+    o_telemetry = Loop.telemetry t.loop;
+    o_emit =
+      (fun ~tag ~detail ->
+        Trace.record (Loop.trace t.loop) ~time:(Loop.now t.loop) ~tag detail);
+  }
+
+let run_plan t ~plan ~max_rounds =
+  let inj = Faults.Injector.create ~plan ~ops:(fault_ops t) in
+  Faults.Injector.step inj;
+  while not (Faults.Injector.finished inj) do
+    run_rounds t 1;
+    Faults.Injector.step inj
+  done;
+  run_until_quiescent t ~max_rounds

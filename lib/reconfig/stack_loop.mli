@@ -3,12 +3,24 @@
     proof that the core is engine-agnostic, and the stepping stone toward a
     socket-backed runtime.
 
-    The API mirrors the observation/driving subset of {!Stack}; fault
-    injection is simulator-only. *)
+    The API mirrors the observation/driving subset of {!Stack}, including
+    fault plans: the same serialized {!Faults.Fault_plan} drives either
+    runtime, with the loop declining the simulator-only channel-corruption
+    capability (those events are counted as skipped). *)
 
 open Sim
 
 type ('app, 'msg) t
+
+val of_scenario :
+  ?clock:(unit -> float) ->
+  hooks:('app, 'msg) Stack.hooks ->
+  Scenario.t ->
+  ('app, 'msg) t
+(** Build a loop-backed stack from a {!Scenario.t}. The scenario's
+    simulator-only channel knobs ([sc_loss]) are ignored; its fault plan is
+    {e not} applied here — pass it to {!run_plan}. [clock] is forwarded to
+    {!Runtime.Loop.create}. *)
 
 val create :
   ?seed:int ->
@@ -21,8 +33,9 @@ val create :
   members:Pid.t list ->
   unit ->
   ('app, 'msg) t
-(** Same configuration surface as {!Stack.create} minus the simulator-only
-    channel knobs ([loss]); [clock] is forwarded to {!Runtime.Loop.create}. *)
+  [@@ocaml.deprecated "use Stack_loop.of_scenario with a Scenario.t"]
+(** @deprecated Compatibility shim over {!of_scenario} (one release);
+    equivalent to [of_scenario ~hooks (Scenario.make ~members ...)]. *)
 
 (** The underlying loop runtime (for trace/metrics/round access). *)
 val loop :
@@ -48,3 +61,21 @@ val run_rounds : ('app, 'msg) t -> int -> unit
 val run_until_quiescent : ('app, 'msg) t -> max_rounds:int -> int option
 
 val crash : ('app, 'msg) t -> Pid.t -> unit
+
+(** {2 Fault plans}
+
+    The loop supplies every injector capability except channel corruption
+    (its mailboxes hold typed values a transient fault cannot fabricate);
+    [Corrupt_channels] events are counted under
+    [fault.injected{kind="skipped"}], and link "bit flips" degrade to
+    drops. Everything else — state corruption, per-link loss profiles,
+    partitions, crashes, join churn — behaves as on the simulator. *)
+
+(** [fault_ops t] — the loop's capability record for {!Faults.Injector}. *)
+val fault_ops : ('app, 'msg) t -> Faults.Injector.ops
+
+(** [run_plan t ~plan ~max_rounds] — apply [plan] round by round, then run
+    on until quiescence; rounds from last fault to quiescence, or [None]
+    on timeout. *)
+val run_plan :
+  ('app, 'msg) t -> plan:Faults.Fault_plan.t -> max_rounds:int -> int option

@@ -258,6 +258,19 @@ let merge_states ~self:_ st others =
     others;
   st
 
+(* Arbitrary-state injection for the register layer: forget a random subset
+   of stored entries and abort the in-flight operation (which re-queues the
+   client request, so liveness is preserved). The embedded counter state is
+   corrupted separately through the plugin composition. *)
+let corrupt_upper rng st =
+  let keys = Reg_map.fold (fun k _ acc -> k :: acc) st.store [] in
+  List.iter
+    (fun k -> if Rng.bool rng then st.store <- Reg_map.remove k st.store)
+    keys;
+  abort_op st;
+  st.next_mid <- Rng.int rng 1024;
+  st
+
 let plugin ?(in_transit_bound = 8) ?(exhaust_bound = 1 lsl 30) () =
   let counter_plugin = Counter_service.plugin ~in_transit_bound ~exhaust_bound in
   let upper =
@@ -276,6 +289,7 @@ let plugin ?(in_transit_bound = 8) ?(exhaust_bound = 1 lsl 30) () =
       p_tick = tick;
       p_recv = recv;
       p_merge = merge_states;
+      p_corrupt = corrupt_upper;
     }
   in
   Stack.Plugin.stack ~lower:counter_plugin
@@ -293,3 +307,17 @@ let hooks ?in_transit_bound ?exhaust_bound () =
     pass_query = (fun ~self:_ ~joiner:_ -> true);
     plugin = plugin ?in_transit_bound ?exhaust_bound ();
   }
+
+(* The register layer itself reports nothing; its embedded counter does. *)
+let declare_metrics = Counter_service.declare_metrics
+
+module Service = struct
+  type nonrec state = state
+  type nonrec msg = msg
+
+  let name = "register"
+  let plugin = plugin ()
+  let hooks = hooks ()
+  let corrupt rng st = plugin.Stack.p_corrupt rng st
+  let declare_metrics = declare_metrics
+end

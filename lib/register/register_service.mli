@@ -72,3 +72,15 @@ val stored : state -> reg -> tagged option
 
 (** Aborted attempts (operations retried after a reconfiguration). *)
 val aborts : state -> int
+
+(** {2 Fault injection and packaging} *)
+
+(** Pre-register the service's telemetry families (those of the embedded
+    counter scheme; the register layer itself reports nothing). *)
+val declare_metrics : Telemetry.t -> unit
+
+(** Default-configured instance; [corrupt] composes the register-layer
+    injection (forget stored entries, abort the in-flight operation) with
+    the embedded counter scheme's. *)
+module Service :
+  Reconfig.Stack.SERVICE with type state = state and type msg = msg

@@ -40,6 +40,12 @@ type ('s, 'm) t = {
   l_metrics : Metrics.t;
   l_telemetry : Telemetry.t;
   mutable l_rounds : int;
+  (* adversarial link state (fault plans): a blocked directed link drops
+     every message; an installed profile drops/duplicates probabilistically.
+     Both tables are empty by default, and the profile-free path draws no
+     randomness — existing runs are unaffected. *)
+  l_blocked : (Pid.t * Pid.t, unit) Hashtbl.t;
+  l_profiles : (Pid.t * Pid.t, Engine.link_profile) Hashtbl.t;
 }
 
 let monotonic_clock () =
@@ -64,6 +70,8 @@ let create ?(seed = 42) ?clock ~driver ~pids () =
       l_metrics = Metrics.create ();
       l_telemetry = Telemetry.create ();
       l_rounds = 0;
+      l_blocked = Hashtbl.create 16;
+      l_profiles = Hashtbl.create 16;
     }
   in
   List.iter
@@ -109,6 +117,37 @@ let crash t p =
   Queue.clear n.n_mailbox;
   Trace.record t.l_trace ~time:(t.clock ()) ~node:p ~tag:"crash" ""
 
+(* --- adversarial link state (fault plans) --- *)
+
+let block_link t ~src ~dst = Hashtbl.replace t.l_blocked (src, dst) ()
+let unblock_link t ~src ~dst = Hashtbl.remove t.l_blocked (src, dst)
+let link_blocked t ~src ~dst = Hashtbl.mem t.l_blocked (src, dst)
+
+let partition t group =
+  let all = pids t in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun q ->
+          if Pid.Set.mem p group <> Pid.Set.mem q group then begin
+            block_link t ~src:p ~dst:q;
+            block_link t ~src:q ~dst:p
+          end)
+        all)
+    all;
+  Trace.record t.l_trace ~time:(t.clock ()) ~tag:"partition"
+    (Format.asprintf "%a" Pid.pp_set group)
+
+let heal t =
+  Hashtbl.reset t.l_blocked;
+  Trace.record t.l_trace ~time:(t.clock ()) ~tag:"heal" ""
+
+let set_link_profile t ~src ~dst = function
+  | Some p -> Hashtbl.replace t.l_profiles (src, dst) p
+  | None -> Hashtbl.remove t.l_profiles (src, dst)
+
+let clear_link_profiles t = Hashtbl.reset t.l_profiles
+
 let make_ctx t p =
   {
     c_self = p;
@@ -124,7 +163,22 @@ let flush t ctx =
   List.iter
     (fun (dst, msg) ->
       match Hashtbl.find_opt t.nodes dst with
-      | Some n when not n.n_crashed -> Queue.add (ctx.c_self, msg) n.n_mailbox
+      | Some n when not n.n_crashed ->
+        let src = ctx.c_self in
+        if not (Hashtbl.mem t.l_blocked (src, dst)) then begin
+          match Hashtbl.find_opt t.l_profiles (src, dst) with
+          | None -> Queue.add (src, msg) n.n_mailbox
+          | Some p ->
+            (* mailboxes have no bit representation to flip, so a "flipped"
+               message is unparseable, i.e. lost *)
+            if
+              (not (Rng.chance t.l_rng p.Engine.lp_drop))
+              && not (p.Engine.lp_flip > 0.0 && Rng.chance t.l_rng p.Engine.lp_flip)
+            then begin
+              Queue.add (src, msg) n.n_mailbox;
+              if Rng.chance t.l_rng p.Engine.lp_dup then Queue.add (src, msg) n.n_mailbox
+            end
+        end
       | Some _ | None -> ())
     (List.rev ctx.c_out);
   ctx.c_out <- []

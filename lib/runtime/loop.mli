@@ -60,6 +60,32 @@ val add_node : ('s, 'm) t -> Pid.t -> unit
 (** [crash t p] stops [p] permanently and discards its mailbox. *)
 val crash : ('s, 'm) t -> Pid.t -> unit
 
+(** {2 Adversarial links (fault plans)}
+
+    The loop's default delivery is reliable; fault plans can degrade it.
+    A blocked directed link silently drops every message; an installed
+    {!Sim.Engine.link_profile} drops ([lp_drop]), duplicates ([lp_dup]) or
+    loses-as-unparseable ([lp_flip] — mailboxes carry typed values, so a
+    "bit-flipped" message is simply lost) probabilistically, drawing from
+    the loop's seeded RNG. With no blocks and no profiles, delivery is
+    exactly the historical reliable path with zero extra RNG draws. *)
+
+val block_link : ('s, 'm) t -> src:Pid.t -> dst:Pid.t -> unit
+val unblock_link : ('s, 'm) t -> src:Pid.t -> dst:Pid.t -> unit
+val link_blocked : ('s, 'm) t -> src:Pid.t -> dst:Pid.t -> bool
+
+(** [partition t group] cuts every link between [group] and the rest, both
+    directions. *)
+val partition : ('s, 'm) t -> Pid.Set.t -> unit
+
+(** [heal t] removes every block. *)
+val heal : ('s, 'm) t -> unit
+
+val set_link_profile :
+  ('s, 'm) t -> src:Pid.t -> dst:Pid.t -> Sim.Engine.link_profile option -> unit
+
+val clear_link_profiles : ('s, 'm) t -> unit
+
 (** {2 Running} *)
 
 (** [run_round t] — one timer step per live node, then one delivery phase. *)

@@ -67,6 +67,8 @@ let check_pids ~src ~dst =
       (Printf.sprintf "Engine: pid out of range (src=%d dst=%d, must be in [0, 2^%d))"
          src dst key_bits)
 
+type link_profile = { lp_drop : float; lp_dup : float; lp_flip : float }
+
 type ('s, 'm) t = {
   behavior : ('s, 'm) behavior;
   e_rng : Rng.t;
@@ -88,6 +90,11 @@ type ('s, 'm) t = {
      rows allocated when their source slot is created *)
   mutable out : 'm Channel.t option array array; (* out.(src).(dst) *)
   mutable blocked : bool array array;
+  (* adversarial per-link fault-rate overrides; [None] everywhere by
+     default, in which case the global loss/dup model applies and the RNG
+     draw sequence is exactly the profile-free one *)
+  mutable profiles : link_profile option array array;
+  mutable mangler : (Rng.t -> 'm -> 'm) option;
   queue : event Heap.t;
   mutable e_time : float;
   mutable e_seq : int;
@@ -148,21 +155,27 @@ let ensure_slot t p =
       t.node_of_slot <- nn;
       let nout = Array.make ncap [||] in
       let nbl = Array.make ncap [||] in
+      let npr = Array.make ncap [||] in
       for i = 0 to s - 1 do
         let row = Array.make ncap None in
         Array.blit t.out.(i) 0 row 0 cap;
         nout.(i) <- row;
         let brow = Array.make ncap false in
         Array.blit t.blocked.(i) 0 brow 0 cap;
-        nbl.(i) <- brow
+        nbl.(i) <- brow;
+        let prow = Array.make ncap None in
+        Array.blit t.profiles.(i) 0 prow 0 cap;
+        npr.(i) <- prow
       done;
       t.out <- nout;
-      t.blocked <- nbl
+      t.blocked <- nbl;
+      t.profiles <- npr
     end;
     let cap = Array.length t.pid_of_slot in
     t.pid_of_slot.(s) <- p;
     t.out.(s) <- Array.make cap None;
     t.blocked.(s) <- Array.make cap false;
+    t.profiles.(s) <- Array.make cap None;
     (if p < slot_fast_limit then begin
        (if p >= Array.length t.slot_fast then begin
           let n = ref (max 64 (2 * Array.length t.slot_fast)) in
@@ -229,6 +242,8 @@ let create ?(seed = 42) ?(capacity = 8) ?(loss = 0.02) ?(dup = 0.02) ?(reorder =
       n_slots = 0;
       out = Array.make 16 [||];
       blocked = Array.make 16 [||];
+      profiles = Array.make 16 [||];
+      mangler = None;
       queue = Heap.create compare_event;
       e_time = 0.0;
       e_seq = 0;
@@ -426,6 +441,23 @@ let heal t =
   Array.iter (fun row -> Array.fill row 0 (Array.length row) false) t.blocked;
   Trace.record t.e_trace ~time:t.e_time ~tag:"heal" ""
 
+let set_link_profile t ~src ~dst profile =
+  let ss = ensure_slot t src in
+  let ds = ensure_slot t dst in
+  t.profiles.(ss).(ds) <- profile
+
+let link_profile t ~src ~dst =
+  let ss = find_slot t src in
+  if ss < 0 then None
+  else
+    let ds = find_slot t dst in
+    if ds < 0 then None else t.profiles.(ss).(ds)
+
+let clear_link_profiles t =
+  Array.iter (fun row -> Array.fill row 0 (Array.length row) None) t.profiles
+
+let set_mangler t f = t.mangler <- f
+
 let flush_outbox t ~src_slot ctx =
   List.iter
     (fun (dst, msg) ->
@@ -437,8 +469,14 @@ let flush_outbox t ~src_slot ctx =
       end
       else begin
         Channel.send ch t.e_rng msg;
-        (* duplication: occasionally schedule an extra delivery attempt *)
-        if Rng.chance t.e_rng t.dup then Channel.duplicate_head ch;
+        (* duplication: occasionally schedule an extra delivery attempt; a
+           link profile overrides the rate but spends the same single draw *)
+        let dup =
+          match t.profiles.(src_slot).(dst_slot) with
+          | None -> t.dup
+          | Some p -> p.lp_dup
+        in
+        if Rng.chance t.e_rng dup then Channel.duplicate_head ch;
         schedule_delivery t ~src_slot ~dst_slot
       end)
     (List.rev ctx.ctx_outbox);
@@ -472,19 +510,35 @@ let exec_step t kind =
     | Some n ->
       if not n.n_crashed then begin
         let ch = channel_of_slots t src_slot dst_slot in
+        let profile = t.profiles.(src_slot).(dst_slot) in
+        let loss = match profile with None -> t.loss | Some p -> p.lp_drop in
         if t.blocked.(src_slot).(dst_slot) then Channel.drop_one ch t.e_rng
-        else if Rng.chance t.e_rng t.loss then Channel.drop_one ch t.e_rng
+        else if Rng.chance t.e_rng loss then Channel.drop_one ch t.e_rng
         else
           match Channel.take ch t.e_rng ~reorder:t.reorder with
           | None -> ()
           | Some msg ->
-            let ctx = t.scratch in
-            ctx.ctx_self <- n.n_pid;
-            ctx.ctx_time <- t.e_time;
-            ctx.ctx_outbox <- [];
-            n.n_state <-
-              t.behavior.on_message ctx t.pid_of_slot.(src_slot) msg n.n_state;
-            flush_outbox t ~src_slot:dst_slot ctx
+            (* "bit flips": a profiled link occasionally mangles the packet
+               through the installed mangler; without a mangler a flipped
+               packet is unparseable and counts as dropped. Profile-free
+               links spend no extra draw here. *)
+            let deliver msg =
+              let ctx = t.scratch in
+              ctx.ctx_self <- n.n_pid;
+              ctx.ctx_time <- t.e_time;
+              ctx.ctx_outbox <- [];
+              n.n_state <-
+                t.behavior.on_message ctx t.pid_of_slot.(src_slot) msg n.n_state;
+              flush_outbox t ~src_slot:dst_slot ctx
+            in
+            (match profile with
+            | Some p when p.lp_flip > 0.0 && Rng.chance t.e_rng p.lp_flip -> (
+              match t.mangler with
+              | Some f -> deliver (f t.e_rng msg)
+              | None ->
+                let st = Channel.stats ch in
+                st.Channel.dropped <- st.Channel.dropped + 1)
+            | _ -> deliver msg)
       end
   end
 

@@ -123,6 +123,36 @@ val heal : ('s, 'm) t -> unit
 (** [link_blocked t ~src ~dst] — is the directed link currently cut? *)
 val link_blocked : ('s, 'm) t -> src:Pid.t -> dst:Pid.t -> bool
 
+(** {2 Per-link fault profiles}
+
+    An installed profile overrides the engine's global loss/duplication
+    model on one directed link, and can additionally mangle delivered
+    packets ("bit flips"). Links without a profile follow the global model
+    and spend exactly the same RNG draws as before this feature existed, so
+    profile-free runs stay byte-identical across versions. *)
+
+type link_profile = {
+  lp_drop : float;  (** per-delivery loss probability (replaces [loss]) *)
+  lp_dup : float;  (** per-send duplication probability (replaces [dup]) *)
+  lp_flip : float;
+      (** probability a delivered packet is rewritten by the mangler; with
+          no mangler installed a flipped packet is dropped (an unparseable
+          packet is indistinguishable from a lost one) *)
+}
+
+(** [set_link_profile t ~src ~dst p] installs ([Some]) or removes ([None])
+    the profile on the directed link. *)
+val set_link_profile : ('s, 'm) t -> src:Pid.t -> dst:Pid.t -> link_profile option -> unit
+
+val link_profile : ('s, 'm) t -> src:Pid.t -> dst:Pid.t -> link_profile option
+
+(** [clear_link_profiles t] removes every installed profile. *)
+val clear_link_profiles : ('s, 'm) t -> unit
+
+(** [set_mangler t f] installs the message rewriter used by [lp_flip];
+    [f] receives the engine RNG and the in-flight message. *)
+val set_mangler : ('s, 'm) t -> (Rng.t -> 'm -> 'm) option -> unit
+
 (** [add_node t p] adds a fresh node with state [behavior.init p]; its
     links are created clean (snap-stabilized). Raises [Invalid_argument] if
     [p] already exists. *)

@@ -492,6 +492,28 @@ let vs_recv machine (v : Stack.scheme_view) ~from m st =
 
 let default_eval ~self:_ ~trusted:_ _ = false
 
+(* Arbitrary-state injection for the VS layer: scramble the broadcast
+   report's control fields, forget all peer reports and the
+   counter-request bookkeeping. The replica state itself is left alone —
+   virtual synchrony re-synchronizes it from the most advanced survivor at
+   the next install, which is exactly the recovery path under test. *)
+let corrupt_upper rng st =
+  let status =
+    match Rng.int rng 3 with 0 -> Multicast | 1 -> Propose | _ -> Install
+  in
+  st.me <-
+    {
+      st.me with
+      r_status = status;
+      r_rnd = Rng.int rng 1024;
+      r_no_crd = Rng.bool rng;
+      r_suspend = Rng.bool rng;
+    };
+  st.peers <- Pid.Map.empty;
+  st.awaiting_vid <- (if Rng.bool rng then None else Some (Rng.int rng 8));
+  st.reconf_ready <- Rng.bool rng;
+  st
+
 let plugin ~machine ?(eval_config = default_eval) () =
   let counter_plugin =
     Counter_service.plugin ~in_transit_bound:8 ~exhaust_bound:(1 lsl 30)
@@ -515,6 +537,7 @@ let plugin ~machine ?(eval_config = default_eval) () =
       p_tick = (fun v st -> vs_tick machine ~eval_config v st);
       p_recv = (fun v ~from m st -> vs_recv machine v ~from m st);
       p_merge = (fun ~self:_ st _ -> st);
+      p_corrupt = corrupt_upper;
     }
   in
   Stack.Plugin.stack ~lower:counter_plugin
@@ -532,3 +555,23 @@ let hooks ~machine ?eval_config () =
     pass_query = (fun ~self:_ ~joiner:_ -> true);
     plugin = plugin ~machine ?eval_config ();
   }
+
+let declare_metrics tele =
+  Telemetry.declare_counter tele "vs.proposals";
+  Telemetry.declare_counter tele "vs.installs";
+  Telemetry.declare_histogram tele "vs.view_change_seconds";
+  Counter_service.declare_metrics tele
+
+(* Monomorphic instance for harnesses that need a [Stack.SERVICE]: the
+   integer-adder machine (the same one experiment E8 replicates). *)
+module Service = struct
+  type nonrec state = (int, int) state
+  type nonrec msg = (int, int) msg
+
+  let name = "vs"
+  let adder = { initial = 0; apply = (fun s c -> s + c) }
+  let plugin = plugin ~machine:adder ()
+  let hooks = hooks ~machine:adder ()
+  let corrupt rng st = plugin.Stack.p_corrupt rng st
+  let declare_metrics = declare_metrics
+end

@@ -79,9 +79,9 @@ let test_algo_rebuild_voids_non_members () =
 
 let make_counter_system ?(seed = 42) ?(n = 4) ?(exhaust_bound = 1 lsl 30) () =
   let members = List.init n (fun i -> i + 1) in
-  Reconfig.Stack.create ~seed ~n_bound:16
+  Reconfig.Stack.of_scenario
     ~hooks:(Counter_service.hooks ~in_transit_bound:8 ~exhaust_bound)
-    ~members ()
+    (Reconfig.Scenario.make ~seed ~n_bound:16 ~members ())
 
 let app sys p = (Reconfig.Stack.node sys p).Reconfig.Stack.app
 

@@ -166,9 +166,9 @@ let prop_algo_two_party_agreement =
 
 let make_label_system ?(seed = 42) ?(n = 4) () =
   let members = List.init n (fun i -> i + 1) in
-  Reconfig.Stack.create ~seed ~n_bound:16
+  Reconfig.Stack.of_scenario
     ~hooks:(Label_service.hooks ~in_transit_bound:8)
-    ~members ()
+    (Reconfig.Scenario.make ~seed ~n_bound:16 ~members ())
 
 let test_service_agreement () =
   let sys = make_label_system () in

@@ -69,7 +69,7 @@ let prop_notification_max_is_upper_bound =
 
 let make_system ?(seed = 42) ?(loss = 0.02) ?(n = 5) ?(hooks = Stack.unit_hooks) () =
   let members = List.init n (fun i -> i + 1) in
-  Stack.create ~seed ~loss ~n_bound:16 ~hooks ~members ()
+  Stack.of_scenario ~hooks (Scenario.make ~seed ~loss ~n_bound:16 ~members ())
 
 let test_steady_state_quiescent () =
   let sys = make_system () in
@@ -400,9 +400,10 @@ let test_scheme_under_wall_quorum () =
      all work unchanged *)
   let members = List.init 6 (fun i -> i + 1) in
   let sys =
-    Stack.create ~seed:77 ~n_bound:16
-      ~quorum:(module Quorum.Wall)
-      ~hooks:Stack.unit_hooks ~members ()
+    Stack.of_scenario ~hooks:Stack.unit_hooks
+      (Scenario.make ~seed:77 ~n_bound:16
+         ~quorum:(module Quorum.Wall)
+         ~members ())
   in
   Stack.run_rounds sys 30;
   Alcotest.(check bool) "steady under wall quorums" true (Stack.quiescent sys);

@@ -8,7 +8,8 @@ let set = Pid.set_of_list
 
 let make ?(seed = 42) ?(n = 4) () =
   let members = List.init n (fun i -> i + 1) in
-  Reconfig.Stack.create ~seed ~n_bound:16 ~hooks:(Register_service.hooks ()) ~members ()
+  Reconfig.Stack.of_scenario ~hooks:(Register_service.hooks ())
+    (Reconfig.Scenario.make ~seed ~n_bound:16 ~members ())
 
 let app sys p = (Reconfig.Stack.node sys p).Reconfig.Stack.app
 

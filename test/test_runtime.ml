@@ -60,6 +60,7 @@ let probe tag =
     p_recv =
       (fun _v ~from m log -> (Printf.sprintf "%s.recv.%d.%s" tag from m :: log, []));
     p_merge = (fun ~self:_ log _ -> "merged" :: log);
+    p_corrupt = (fun _ st -> st);
   }
 
 let test_map_identity () =
@@ -138,6 +139,7 @@ let stacked () =
           | `Hi s -> ((lo, Printf.sprintf "hi.recv.%d.%s" from s :: hi), [])
           | `Lo _ -> ((lo, "hi.MUST_NOT_SEE_LO" :: hi), []));
       p_merge = (fun ~self:_ st _ -> st);
+      p_corrupt = (fun _ st -> st);
     }
   in
   Stack.Plugin.stack ~lower:(probe "lo")
@@ -247,12 +249,14 @@ let test_loop_crash () =
 let test_stack_on_both_runtimes () =
   let members = [ 1; 2; 3 ] in
   let sim =
-    Stack.create ~seed:11 ~n_bound:16 ~hooks:Stack.unit_hooks ~members ()
+    Stack.of_scenario ~hooks:Stack.unit_hooks
+      (Scenario.make ~seed:11 ~n_bound:16 ~members ())
   in
   Alcotest.(check bool) "sim quiescent" true
     (Stack.run_until sim ~max_steps:400_000 (fun t -> Stack.quiescent t));
   let lp =
-    Stack_loop.create ~seed:11 ~n_bound:16 ~hooks:Stack.unit_hooks ~members ()
+    Stack_loop.of_scenario ~hooks:Stack.unit_hooks
+      (Scenario.make ~seed:11 ~n_bound:16 ~members ())
   in
   (match Stack_loop.run_until_quiescent lp ~max_rounds:300 with
   | Some _ -> ()
@@ -273,8 +277,8 @@ let test_stack_on_both_runtimes () =
 
 let test_loop_stack_joiner () =
   let lp =
-    Stack_loop.create ~seed:5 ~n_bound:16 ~hooks:Stack.unit_hooks
-      ~members:[ 1; 2; 3 ] ()
+    Stack_loop.of_scenario ~hooks:Stack.unit_hooks
+      (Scenario.make ~seed:5 ~n_bound:16 ~members:[ 1; 2; 3 ] ())
   in
   (match Stack_loop.run_until_quiescent lp ~max_rounds:300 with
   | Some _ -> ()

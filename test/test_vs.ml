@@ -13,9 +13,9 @@ let app sys p = (Reconfig.Stack.node sys p).Reconfig.Stack.app
 
 let make_vs ?(seed = 42) ?(n = 4) ?eval_config () =
   let members = List.init n (fun i -> i + 1) in
-  Reconfig.Stack.create ~seed ~n_bound:16
+  Reconfig.Stack.of_scenario
     ~hooks:(Vs_service.hooks ~machine ?eval_config ())
-    ~members ()
+    (Reconfig.Scenario.make ~seed ~n_bound:16 ~members ())
 
 let wait_for_view sys =
   Reconfig.Stack.run_until sys ~max_steps:600_000 (fun t ->
@@ -220,7 +220,8 @@ let test_audit_detects_violations () =
 
 let make_shm ?(seed = 42) ?(n = 4) () =
   let members = List.init n (fun i -> i + 1) in
-  Reconfig.Stack.create ~seed ~n_bound:16 ~hooks:(Shared_memory.hooks ()) ~members ()
+  Reconfig.Stack.of_scenario ~hooks:(Shared_memory.hooks ())
+    (Reconfig.Scenario.make ~seed ~n_bound:16 ~members ())
 
 let shm_wait_view sys =
   Reconfig.Stack.run_until sys ~max_steps:600_000 (fun t ->
@@ -297,9 +298,9 @@ let smr_machine = { Vs_service.initial = 0; apply = (fun s c -> s + c) }
 
 let make_smr ?(seed = 42) ?(n = 4) () =
   let members = List.init n (fun i -> i + 1) in
-  Reconfig.Stack.create ~seed ~n_bound:16
+  Reconfig.Stack.of_scenario
     ~hooks:(Smr.hooks ~machine:smr_machine ())
-    ~members ()
+    (Reconfig.Scenario.make ~seed ~n_bound:16 ~members ())
 
 let smr_wait_view sys =
   Reconfig.Stack.run_until sys ~max_steps:600_000 (fun t ->
@@ -382,8 +383,8 @@ let test_ssreconf_recovers_from_same_fault () =
   (* the same fault class injected into our scheme: recSA detects the dead
      configuration (type-4) and brute-force recovers *)
   let sys =
-    Reconfig.Stack.create ~seed:12 ~n_bound:16 ~hooks:Reconfig.Stack.unit_hooks
-      ~members:[ 1; 2; 3; 4 ] ()
+    Reconfig.Stack.of_scenario ~hooks:Reconfig.Stack.unit_hooks
+      (Reconfig.Scenario.make ~seed:12 ~n_bound:16 ~members:[ 1; 2; 3; 4 ] ())
   in
   Reconfig.Stack.run_rounds sys 20;
   List.iter
